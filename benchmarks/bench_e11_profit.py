@@ -1,0 +1,69 @@
+"""E11 / §1: consumer profit Π = U(p) − C under step-function utility.
+
+"A typical database user today treats performance as a requirement
+rather than an optimization target ... because the performance beyond
+often contributes little to the application's revenue (i.e., U(p) is a
+step function)."  With step utility, maximizing profit = meeting the SLA
+at minimal cost — exactly what the bi-objective optimizer does; fixed
+provisioning either misses the step (zero utility) or overpays for
+latency beyond it.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import run_once
+from repro.baselines.tshirt import uniform_dops
+from repro.compute.pricing import TSHIRT_SIZES
+from repro.core.bioptimizer import BiObjectiveOptimizer
+from repro.dop.constraints import sla_constraint
+from repro.plan.pipelines import decompose_pipelines
+from repro.util.tables import TextTable
+from repro.workloads.tpch_queries import instantiate
+
+UTILITY_DOLLARS = 0.05  # revenue earned per on-time query result
+QUERY = "q5_local_supplier"
+
+
+def step_utility(latency, sla):
+    return UTILITY_DOLLARS if latency <= sla else 0.0
+
+
+def test_e11_profit_maximization(benchmark, catalog, binder, planner, estimator):
+    def experiment():
+        bound = binder.bind_sql(instantiate(QUERY, seed=1))
+        dag = decompose_pipelines(planner.plan(bound))
+        optimizer = BiObjectiveOptimizer(catalog, estimator, max_dop=128)
+
+        table = TextTable(
+            ["SLA (s)", "config", "latency (s)", "cost ($)", "profit Π ($)"],
+            title="E11 — profit Π = U(p) − C under step utility",
+        )
+        winners = []
+        for sla in (20.0, 10.0, 6.0):
+            rows = []
+            for name, nodes in list(TSHIRT_SIZES.items())[:6]:
+                estimate = estimator.estimate_dag(dag, uniform_dops(dag, nodes))
+                profit = step_utility(estimate.latency, sla) - estimate.total_dollars
+                rows.append((f"T-shirt {name}", estimate.latency, estimate.total_dollars, profit))
+            choice = optimizer.optimize(bound, sla_constraint(sla))
+            estimate = choice.dop_plan.estimate
+            profit = step_utility(estimate.latency, sla) - estimate.total_dollars
+            rows.append(("cost-intelligent", estimate.latency, estimate.total_dollars, profit))
+
+            best = max(rows, key=lambda r: r[3])
+            winners.append(best[0])
+            for label, latency, dollars, pi in rows:
+                marker = " <-- best" if label == best[0] else ""
+                table.add_row(
+                    [sla, label + marker, f"{latency:.2f}", f"{dollars:.4f}", f"{pi:+.4f}"]
+                )
+        print()
+        print(table)
+
+        assert all(w == "cost-intelligent" for w in winners), (
+            "the cost-intelligent configuration must maximize profit at "
+            f"every SLA; winners were {winners}"
+        )
+        return winners.count("cost-intelligent") / len(winners)
+
+    run_once(benchmark, experiment)

@@ -1,0 +1,85 @@
+"""E2 / §2: elasticity economics.
+
+Claim 1: "executing the task using 1 machine for 100 minutes incurs the
+same dollar cost as executing the task using 100 machines for 1 minute,
+but the second configuration has a 100x performance advantage" — true
+for embarrassingly parallel scans.
+
+Claim 2: "over-scaling the cluster size ... not only wastes resources but
+also could have a negative impact on query latency" — true for
+shuffle-heavy joins: a latency U-curve with a cost blow-up past the knee.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import run_once
+from repro.baselines.tshirt import uniform_dops
+from repro.plan.pipelines import decompose_pipelines
+from repro.util.tables import TextTable
+
+DOPS = (1, 2, 4, 8, 16, 32, 64, 128)
+
+
+def test_e2_scan_vs_shuffle_scaling(benchmark, estimator):
+    def experiment():
+        # SF 1000 (6B-row lineitem): the long-running tasks the paper's
+        # "100 machines for 1 minute" argument is about.
+        from repro.sql.binder import Binder
+        from repro.optimizer.dag_planner import DagPlanner
+        from repro.workloads.tpch_stats import synthetic_tpch_catalog
+
+        catalog = synthetic_tpch_catalog(1000.0)
+        binder = Binder(catalog)
+        planner = DagPlanner(catalog)
+        scan_plan = planner.plan(
+            binder.bind_sql("SELECT count(*) AS c FROM lineitem")
+        )
+        join_plan = planner.plan(
+            binder.bind_sql(
+                "SELECT count(*) AS c FROM orders, lineitem "
+                "WHERE o_orderkey = l_orderkey"
+            )
+        )
+        results = {}
+        for label, plan in (("parallel scan", scan_plan), ("shuffle join", join_plan)):
+            dag = decompose_pipelines(plan)
+            table = TextTable(
+                ["dop", "latency (s)", "speedup", "cost ($)", "cost vs dop=1"],
+                title=f"E2 — {label}",
+            )
+            base = estimator.estimate_dag(dag, uniform_dops(dag, 1))
+            series = []
+            for dop in DOPS:
+                estimate = estimator.estimate_dag(dag, uniform_dops(dag, dop))
+                series.append((dop, estimate.latency, estimate.total_dollars))
+                table.add_row(
+                    [
+                        dop,
+                        f"{estimate.latency:.2f}",
+                        f"{base.latency / estimate.latency:.1f}x",
+                        f"{estimate.total_dollars:.4f}",
+                        f"{estimate.total_dollars / base.total_dollars:.2f}x",
+                    ]
+                )
+            print()
+            print(table)
+            results[label] = series
+
+        # Shape checks — scan: near-linear speedup, bounded cost growth.
+        scan = results["parallel scan"]
+        speedup_16 = scan[0][1] / scan[4][1]
+        assert speedup_16 > 8, "scan should speed up near-linearly to dop 16"
+        cost_ratio_16 = scan[4][2] / scan[0][2]
+        assert cost_ratio_16 < 3.0, "scan cost should stay near-flat"
+
+        # Join: latency U-curve (a knee exists) and super-linear cost.
+        join = results["shuffle join"]
+        latencies = [latency for _, latency, _ in join]
+        knee = latencies.index(min(latencies))
+        assert 0 < knee < len(DOPS) - 1, "join latency should have a U-curve"
+        assert latencies[-1] > min(latencies), "over-scaling hurts latency"
+        join_cost_ratio = join[-1][2] / join[0][2]
+        assert join_cost_ratio > cost_ratio_16, "join cost blows up faster than scan"
+        return knee
+
+    run_once(benchmark, experiment)

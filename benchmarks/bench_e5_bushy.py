@@ -1,0 +1,95 @@
+"""E5 / §3.2: bushy join variants trade machine time for latency.
+
+"A 'bushier' plan enables more concurrency in pipeline executions and is
+more likely to have a lower query latency.  However ... it may cost more
+computations (and total machine time)."
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import run_once
+from repro.core.bioptimizer import BiObjectiveOptimizer
+from repro.dop.constraints import sla_constraint
+from repro.dop.planner import DopPlanner
+from repro.optimizer.bushy import bushiness, bushy_variants
+from repro.plan.pipelines import decompose_pipelines
+from repro.util.tables import TextTable
+from repro.workloads.tpch_queries import instantiate
+
+
+def test_e5_bushy_latency_cost_tradeoff(benchmark, catalog, binder, planner, estimator):
+    def experiment():
+        bound = binder.bind_sql(instantiate("q5_local_supplier", seed=1))
+        base = {
+            ref.name: planner.base_relation(bound, ref.name) for ref in bound.tables
+        }
+        tree = planner.choose_join_tree(bound)
+        variants = bushy_variants(
+            tree, base, bound.join_edges, planner.estimator, max_variants=6
+        )
+        assert len(variants) >= 2
+
+        dop_planner = DopPlanner(estimator, max_dop=128)
+        table = TextTable(
+            ["variant", "bushiness", "pipelines", "latency (s)", "machine (s)", "cost ($)"],
+            title="E5 — left-deep vs increasingly bushy variants (tight SLA)",
+        )
+        rows = []
+        for index, variant in enumerate(variants):
+            plan = planner.plan_with_tree(bound, variant)
+            dag = decompose_pipelines(plan)
+            dop_plan = dop_planner.plan(dag, sla_constraint(8.0))
+            estimate = dop_plan.estimate
+            rows.append((bushiness(variant), estimate))
+            table.add_row(
+                [
+                    variant.describe()[:46],
+                    bushiness(variant),
+                    len(dag),
+                    f"{estimate.latency:.2f}",
+                    f"{estimate.machine_seconds:.1f}",
+                    f"{estimate.total_dollars:.4f}",
+                ]
+            )
+        print()
+        print(table)
+
+        left_deep = next(e for b, e in rows if b == 0)
+        bushiest = max(rows, key=lambda r: r[0])[1]
+        # Bushy plans cost more computation — the paper's caveat: "a
+        # bushier plan may not be optimal in terms of join cardinalities,
+        # and it may, therefore, cost more computations (and total
+        # machine time)".
+        assert bushiest.machine_seconds >= left_deep.machine_seconds * 0.95
+
+        # Exploring variants can only help the optimizer (variant 0 *is*
+        # the left-deep plan), and under a loose SLA the cheaper
+        # left-deep plan must win.
+        full = BiObjectiveOptimizer(catalog, estimator, max_dop=128, max_variants=6)
+        left_only = BiObjectiveOptimizer(
+            catalog, estimator, max_dop=128, explore_bushy=False
+        )
+        tight_sla = sla_constraint(6.0)
+        tight_full = full.optimize(bound, tight_sla)
+        tight_left = left_only.optimize(bound, tight_sla)
+        loose = full.optimize(bound, sla_constraint(60.0))
+        print(
+            f"optimizer picks: bushiness={tight_full.bushiness} under 6s SLA "
+            f"(${tight_full.dop_plan.estimate.total_dollars:.4f} vs "
+            f"${tight_left.dop_plan.estimate.total_dollars:.4f} left-deep-only), "
+            f"bushiness={loose.bushiness} under 60s SLA"
+        )
+        assert (
+            tight_full.dop_plan.estimate.total_dollars
+            <= tight_left.dop_plan.estimate.total_dollars + 1e-9
+        )
+        # Under a loose SLA the optimizer picks the cheapest variant —
+        # never worse than restricting the search to left-deep.
+        loose_left = left_only.optimize(bound, sla_constraint(60.0))
+        assert (
+            loose.dop_plan.estimate.total_dollars
+            <= loose_left.dop_plan.estimate.total_dollars + 1e-9
+        )
+        return bushiest.machine_seconds / left_deep.machine_seconds
+
+    run_once(benchmark, experiment)

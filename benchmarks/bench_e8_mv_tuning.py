@@ -1,0 +1,79 @@
+"""E8 / §4: the MV what-if dollar logic (accept iff x − y > 0).
+
+Sweeps the query arrival rate for one recurring join+aggregate family and
+shows the What-If report flipping from REJECT to ACCEPT exactly where the
+savings rate x crosses the maintenance rate y, with the break-even
+horizon shrinking as the workload heats up.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import run_once
+from repro.statsvc.forecast import TemplateForecast
+from repro.tuning.mv import mv_candidate_from_query
+from repro.tuning.whatif import WhatIfService
+from repro.util.tables import TextTable
+
+SQL = (
+    "SELECT n_name, sum(c_acctbal) AS bal, count(*) AS cnt "
+    "FROM customer, nation WHERE c_nationkey = n_nationkey "
+    "AND n_regionkey = 2 GROUP BY n_name"
+)
+RATES_PER_HOUR = (0.01, 0.1, 1.0, 10.0, 100.0)
+
+
+def _forecast(rate):
+    return TemplateForecast(
+        template="fam", rate_per_hour=rate, periodic=True,
+        period_s=3600.0 / rate, observed_count=20,
+        avg_dollars=0.01, avg_machine_seconds=10.0,
+    )
+
+
+def test_e8_mv_accept_threshold(benchmark, catalog, binder, estimator):
+    def experiment():
+        bound = binder.bind_sql(SQL)
+        candidate = mv_candidate_from_query(bound, catalog, name="mv_fam")
+        whatif = WhatIfService(catalog, estimator, churn_fraction_per_hour=0.02)
+
+        table = TextTable(
+            ["rate (q/h)", "x savings $/h", "y cost $/h", "net $/h", "verdict", "break-even (h)"],
+            title="E8 — MV what-if: accept iff x − y > 0",
+        )
+        verdicts = []
+        for rate in RATES_PER_HOUR:
+            report = whatif.evaluate_mv(candidate, {"fam": (bound, _forecast(rate))})
+            verdicts.append(report.profitable)
+            horizon = (
+                f"{report.break_even_hours:.1f}"
+                if report.break_even_hours != float("inf")
+                else "never"
+            )
+            table.add_row(
+                [
+                    rate,
+                    f"{report.savings_per_hour:.5f}",
+                    f"{report.cost_per_hour:.5f}",
+                    f"{report.net_per_hour:+.5f}",
+                    "ACCEPT" if report.profitable else "REJECT",
+                    horizon,
+                ]
+            )
+        print()
+        print(table)
+
+        # Cold workload rejected, hot workload accepted, one threshold.
+        assert verdicts[0] is False
+        assert verdicts[-1] is True
+        flips = sum(a != b for a, b in zip(verdicts, verdicts[1:]))
+        assert flips == 1, "verdict must flip exactly once along the rate sweep"
+
+        # Decision matches the post-hoc oracle (net/hour sign).
+        report = whatif.evaluate_mv(
+            candidate, {"fam": (bound, _forecast(10.0))}
+        )
+        oracle_net = report.savings_per_hour - report.cost_per_hour
+        assert report.profitable == (oracle_net > 0)
+        return flips
+
+    run_once(benchmark, experiment)

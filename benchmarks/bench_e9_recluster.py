@@ -1,0 +1,85 @@
+"""E9 / §4: reclustering a huge table — break-even analysis.
+
+The paper's cautionary example: reclustering a petabyte-scale table
+speeds up pruning-friendly queries but "the cost of repopulating a
+petabyte-sized table is enormous".  The report must recommend the action
+only when the workload volume amortizes the rewrite.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import run_once
+from repro.statsvc.forecast import TemplateForecast
+from repro.tuning.clustering import ReclusterCandidate, recluster_one_time_cost
+from repro.tuning.whatif import WhatIfService
+from repro.util.tables import TextTable
+from repro.workloads.tpch_stats import synthetic_tpch_catalog
+
+DATE_SQL = (
+    "SELECT count(*) AS c FROM lineitem "
+    "WHERE l_receiptdate >= DATE '1995-01-01' AND l_receiptdate < DATE '1995-02-01'"
+)
+RATES = (0.05, 1.0, 20.0, 200.0)
+
+
+def _forecast(rate):
+    return TemplateForecast(
+        template="dateq", rate_per_hour=rate, periodic=False, period_s=None,
+        observed_count=50, avg_dollars=0.02, avg_machine_seconds=20.0,
+    )
+
+
+def test_e9_recluster_break_even(benchmark, estimator):
+    def experiment():
+        # Far bigger than the shared fixture: SF 10000 ~ 60B lineitem rows.
+        catalog = synthetic_tpch_catalog(10_000.0)
+        from repro.sql.binder import Binder
+
+        binder = Binder(catalog)
+        bound = binder.bind_sql(DATE_SQL)
+        candidate = ReclusterCandidate("lineitem", "l_receiptdate")
+        machine_s, one_time = recluster_one_time_cost(
+            candidate, catalog, estimator.hw
+        )
+        whatif = WhatIfService(catalog, estimator, churn_fraction_per_hour=1e-4)
+
+        table = TextTable(
+            ["query rate (q/h)", "x $/h", "y $/h", "one-time $", "break-even (h)", "verdict"],
+            title="E9 — recluster lineitem (60B rows, multi-TB) on l_receiptdate",
+        )
+        break_evens = []
+        verdicts = []
+        for rate in RATES:
+            report = whatif.evaluate_recluster(
+                candidate, {"dateq": (bound, _forecast(rate))}
+            )
+            break_evens.append(report.break_even_hours)
+            verdicts.append(report.profitable)
+            horizon = (
+                f"{report.break_even_hours:,.0f}"
+                if report.break_even_hours != float("inf")
+                else "never"
+            )
+            table.add_row(
+                [
+                    rate,
+                    f"{report.savings_per_hour:.4f}",
+                    f"{report.cost_per_hour:.4f}",
+                    f"{report.one_time_dollars:,.2f}",
+                    horizon,
+                    "ACCEPT" if report.profitable else "REJECT",
+                ]
+            )
+        print()
+        print(table)
+        print(f"full rewrite: {machine_s:,.0f} machine-seconds = ${one_time:,.2f}")
+
+        assert one_time > 1.0, "repopulating a 6B-row table costs real dollars"
+        assert verdicts[-1], "a hot date-filtered workload justifies reclustering"
+        finite = [b for b in break_evens if b != float("inf")]
+        assert all(b2 <= b1 for b1, b2 in zip(finite, finite[1:])), (
+            "break-even horizon shrinks as the workload heats up"
+        )
+        return one_time
+
+    run_once(benchmark, experiment)

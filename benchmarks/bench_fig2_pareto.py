@@ -1,0 +1,93 @@
+"""E1 / paper Figure 2: the cost-performance Pareto frontier.
+
+Sweeps warehouse configurations for a mixed workload and shows:
+- the (latency, dollars) cloud of T-shirt configurations;
+- the Pareto frontier of that cloud;
+- that the bi-objective optimizer lands on/near the frontier for any
+  SLA, while fixed T-shirt picks are mostly dominated.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import run_once
+from repro.baselines.tshirt import uniform_dops
+from repro.core.bioptimizer import BiObjectiveOptimizer
+from repro.compute.pricing import TSHIRT_SIZES
+from repro.dop.constraints import sla_constraint
+from repro.plan.pipelines import decompose_pipelines
+from repro.util.pareto import ParetoPoint, distance_to_frontier, pareto_frontier
+from repro.util.tables import TextTable
+from repro.workloads.tpch_queries import instantiate
+
+WORKLOAD = ("q1_pricing_summary", "q5_local_supplier", "q18_large_orders")
+
+
+def test_fig2_pareto_frontier(benchmark, catalog, binder, planner, estimator):
+    def experiment():
+        dags = [
+            decompose_pipelines(planner.plan(binder.bind_sql(instantiate(n, seed=1))))
+            for n in WORKLOAD
+        ]
+
+        # T-shirt cloud: one uniform size for the whole workload.
+        cloud: list[ParetoPoint] = []
+        for name, nodes in TSHIRT_SIZES.items():
+            latency = dollars = 0.0
+            for dag in dags:
+                estimate = estimator.estimate_dag(dag, uniform_dops(dag, nodes))
+                latency += estimate.latency
+                dollars += estimate.total_dollars
+            cloud.append(ParetoPoint(latency, dollars, payload=name))
+        frontier = pareto_frontier(cloud)
+
+        table = TextTable(
+            ["config", "workload latency (s)", "workload cost ($)", "on frontier"],
+            title="Figure 2 — T-shirt configurations vs Pareto frontier",
+        )
+        frontier_names = {p.payload for p in frontier}
+        for point in cloud:
+            table.add_row(
+                [
+                    point.payload,
+                    f"{point.latency:.2f}",
+                    f"{point.dollars:.4f}",
+                    "yes" if point.payload in frontier_names else "dominated",
+                ]
+            )
+        print()
+        print(table)
+
+        # The cost-intelligent optimizer at several SLAs.
+        optimizer = BiObjectiveOptimizer(catalog, estimator, max_dop=128)
+        table2 = TextTable(
+            ["SLA (s)", "latency (s)", "cost ($)", "distance to frontier"],
+            title="Bi-objective optimizer sliding along the frontier",
+        )
+        latency_scale = max(p.latency for p in cloud)
+        dollar_scale = max(p.dollars for p in cloud)
+        distances = []
+        for sla_each in (30.0, 15.0, 8.0):
+            latency = dollars = 0.0
+            for name in WORKLOAD:
+                bound = binder.bind_sql(instantiate(name, seed=1))
+                choice = optimizer.optimize(bound, sla_constraint(sla_each))
+                latency += choice.dop_plan.estimate.latency
+                dollars += choice.dop_plan.estimate.total_dollars
+            point = ParetoPoint(latency, dollars)
+            distance = distance_to_frontier(
+                point, frontier,
+                latency_scale=latency_scale, dollar_scale=dollar_scale,
+            )
+            distances.append(distance)
+            table2.add_row(
+                [sla_each * len(WORKLOAD), f"{latency:.2f}", f"{dollars:.4f}", f"{distance:.4f}"]
+            )
+        print(table2)
+
+        dominated = len(cloud) - len(frontier)
+        assert dominated >= 3, "most T-shirt sizes should be dominated"
+        # The optimizer's points hug the frontier (normalized distance).
+        assert max(distances) < 0.35
+        return max(distances)
+
+    run_once(benchmark, experiment)

@@ -1,0 +1,45 @@
+"""Shared benchmark fixtures: large stats-only catalogs and helpers.
+
+Every benchmark prints the table/series its experiment reproduces, then
+registers a scalar with pytest-benchmark so regressions are visible.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cost.estimator import CostEstimator
+from repro.optimizer.dag_planner import DagPlanner
+from repro.sql.binder import Binder
+from repro.workloads.tpch_stats import synthetic_tpch_catalog
+
+BENCH_SCALE_FACTOR = 100.0
+
+
+@pytest.fixture(scope="session")
+def catalog():
+    """SF-100 statistics-only catalog (lineitem = 600M rows, ~25 GB)."""
+    return synthetic_tpch_catalog(
+        BENCH_SCALE_FACTOR,
+        cluster_keys={"lineitem": "l_shipdate", "orders": "o_orderdate"},
+    )
+
+
+@pytest.fixture(scope="session")
+def binder(catalog):
+    return Binder(catalog)
+
+
+@pytest.fixture(scope="session")
+def planner(catalog):
+    return DagPlanner(catalog)
+
+
+@pytest.fixture(scope="session")
+def estimator():
+    return CostEstimator()
+
+
+def run_once(benchmark, fn):
+    """Execute an experiment exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1)

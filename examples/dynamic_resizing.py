@@ -1,0 +1,83 @@
+"""§3.3 demo: the DOP monitor recovering from cardinality misestimates.
+
+A join query is planned against optimizer estimates, then executed in the
+distributed simulator where the true cardinality is 6x larger.  The
+static plan blows through its SLA; the pipeline-granular DOP monitor
+observes the deviation at run time, resizes the affected pipelines, and
+lands the query near the SLA.
+
+Run:  python examples/dynamic_resizing.py
+"""
+
+from repro import CostEstimator, synthetic_tpch_catalog
+from repro.dop import DopPlanner, sla_constraint
+from repro.monitor.policies import PipelineDopMonitor, StaticPolicy
+from repro.optimizer.dag_planner import DagPlanner
+from repro.plan.pipelines import decompose_pipelines
+from repro.sim.distsim import DistributedSimulator, SimConfig
+from repro.sql.binder import Binder
+from repro.util.tables import TextTable
+
+SQL = (
+    "SELECT count(*) AS c FROM orders, lineitem "
+    "WHERE o_orderkey = l_orderkey AND o_totalprice > 200000"
+)
+SLA = 36.0
+
+
+def main() -> None:
+    catalog = synthetic_tpch_catalog(100.0)
+    estimator = CostEstimator()
+    binder = Binder(catalog)
+    plan = DagPlanner(catalog).plan(binder.bind_sql(SQL))
+    dag = decompose_pipelines(plan)
+    dop_plan = DopPlanner(estimator, max_dop=64).plan(dag, sla_constraint(SLA))
+    print(f"Static plan (believes estimates): {dop_plan.describe()}\n")
+
+    # The optimizer's cardinality estimates are 6x too low.
+    truth = {
+        p.ops[0].node.node_id: float(p.ops[0].node.est_rows) * 6.0 for p in dag
+    }
+    table = TextTable(
+        ["policy", "latency (s)", f"SLA {SLA}s", "cost ($)", "resizes"],
+        title="True cardinalities are 6x the estimates",
+    )
+    for label, policy in (
+        ("static plan", StaticPolicy()),
+        (
+            "DOP monitor (§3.3)",
+            PipelineDopMonitor(
+                dag, estimator, sla_constraint(SLA), dop_plan.dops,
+                planned_latency=dop_plan.estimate.latency,
+                planned_durations={
+                    pid: p.duration
+                    for pid, p in dop_plan.estimate.pipelines.items()
+                },
+                max_dop=64,
+            ),
+        ),
+    ):
+        sim = DistributedSimulator(
+            dag, dop_plan.dops, estimator.models,
+            truth=truth, planned=dop_plan.estimate,
+            policy=policy, config=SimConfig(seed=17),
+        )
+        result = sim.run()
+        table.add_row(
+            [
+                label,
+                f"{result.latency:.1f}",
+                "met" if result.latency <= SLA else "MISSED",
+                f"{result.total_dollars:.4f}",
+                result.resize_count,
+            ]
+        )
+    print(table)
+    print(
+        "\nThe monitor detects the deviation at a progress checkpoint,"
+        " resizes only the affected pipelines, and replans the rest."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,49 @@
+"""Quickstart: load data, state an SLA, get results plus a cost report.
+
+The user never picks a cluster size (no Figure-1 "T-shirt" menu): they
+state a latency SLA and the warehouse plans DOPs per pipeline, executes
+the query (locally for real results, simulated for the cluster
+economics), and reports latency and dollars.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import CostIntelligentWarehouse, load_tpch, sla_constraint
+
+def main() -> None:
+    print("Loading TPC-H-like data (scale factor 0.01)...")
+    database = load_tpch(scale_factor=0.01, cluster_keys={"lineitem": "l_shipdate"})
+    warehouse = CostIntelligentWarehouse(database=database)
+
+    sql = (
+        "SELECT l_returnflag, l_linestatus, "
+        "sum(l_quantity) AS sum_qty, "
+        "sum(l_extendedprice * (1 - l_discount)) AS revenue, "
+        "count(*) AS count_order "
+        "FROM lineitem WHERE l_shipdate <= DATE '1998-09-02' "
+        "GROUP BY l_returnflag, l_linestatus "
+        "ORDER BY l_returnflag, l_linestatus"
+    )
+    print(f"\nSubmitting with a 10-second latency SLA:\n  {sql}\n")
+    outcome = warehouse.submit(sql, sla_constraint(10.0), execute_locally=True)
+
+    print("=== query result ===")
+    batch = outcome.batch
+    assert batch is not None
+    flags = database.decode_strings("lineitem", "l_returnflag", batch.column("l_returnflag"))
+    statuses = database.decode_strings("lineitem", "l_linestatus", batch.column("l_linestatus"))
+    for i in range(batch.num_rows):
+        print(
+            f"  {flags[i]} {statuses[i]}  qty={batch.column('sum_qty')[i]:>12,.0f}"
+            f"  revenue={batch.column('revenue')[i]:>18,.2f}"
+            f"  orders={batch.column('count_order')[i]:>8,d}"
+        )
+
+    print("\n=== physical plan (DOP per pipeline) ===")
+    print(outcome.choice.dag.describe())
+    print("\n=== cost report ===")
+    print(outcome.describe())
+
+
+if __name__ == "__main__":
+    main()

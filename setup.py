@@ -1,0 +1,10 @@
+"""Setuptools shim.
+
+Kept alongside pyproject.toml so the package can be installed in
+environments without the ``wheel`` package (legacy editable installs via
+``python setup.py develop``); all metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,58 @@
+"""repro: a cost-intelligent cloud data warehouse.
+
+Reproduction of Zhang, Liu, Yan — *Cost-Intelligent Data Analytics in
+the Cloud* (CIDR 2024).  The package implements the paper's architecture
+end to end: a SQL frontend and classical DAG-planning optimizer, the
+per-operator cost estimator with a query-level simulator (§3.1), the
+bi-objective optimizer with per-pipeline DOP planning and bushy-variant
+exploration (§3.2), a DOP monitor with pipeline-granular dynamic
+resizing over a discrete-event cluster simulator (§3.3), and the
+Statistics/What-If services for cost-oriented auto-tuning (§4).
+
+Quickstart::
+
+    from repro import (
+        CostIntelligentWarehouse, load_tpch, sla_constraint,
+    )
+
+    db = load_tpch(scale_factor=0.01)
+    warehouse = CostIntelligentWarehouse(database=db)
+    outcome = warehouse.submit(
+        "SELECT count(*) AS big FROM orders WHERE o_totalprice > 300000",
+        sla_constraint(10.0),
+        execute_locally=True,
+    )
+    print(outcome.describe())
+"""
+
+from repro.catalog import Catalog
+from repro.core import BiObjectiveOptimizer, CostIntelligentWarehouse, QueryOutcome
+from repro.cost import CostEstimator, HardwareCalibration
+from repro.dop import DopPlanner, budget_constraint, sla_constraint
+from repro.engine import Database, LocalExecutor
+from repro.sim import DistributedSimulator, SimConfig
+from repro.sql import Binder
+from repro.workloads import load_tpch
+from repro.workloads.tpch_stats import synthetic_tpch_catalog
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Catalog",
+    "BiObjectiveOptimizer",
+    "CostIntelligentWarehouse",
+    "QueryOutcome",
+    "CostEstimator",
+    "HardwareCalibration",
+    "DopPlanner",
+    "sla_constraint",
+    "budget_constraint",
+    "Database",
+    "LocalExecutor",
+    "DistributedSimulator",
+    "SimConfig",
+    "Binder",
+    "load_tpch",
+    "synthetic_tpch_catalog",
+    "__version__",
+]

@@ -1,0 +1,55 @@
+"""Performance-only planning baseline.
+
+Decades of optimizer research "focused on optimizing the performance p
+under a fixed amount of resources, leaving the cost C behind" (§1).
+This baseline searches DOPs purely for latency — the classical
+objective — and accepts whatever the bill turns out to be.  Comparing
+its dollars against the bi-objective optimizer at equal SLA compliance
+is experiment E4's headline row.
+"""
+
+from __future__ import annotations
+
+from repro.cost.estimate import CostEstimate
+from repro.cost.estimator import CostEstimator
+from repro.dop.planner import DopPlan
+from repro.plan.pipelines import PipelineDag
+
+
+class PerformanceOnlyPlanner:
+    """Greedy latency minimization, cost-blind."""
+
+    def __init__(self, estimator: CostEstimator, *, max_dop: int = 64) -> None:
+        self.estimator = estimator
+        self.max_dop = max_dop
+
+    def plan(self, dag: PipelineDag) -> DopPlan:
+        dops = {p.pipeline_id: 1 for p in dag}
+        current = self.estimator.estimate_dag(dag, dops)
+        evaluations = 1
+        improved = True
+        while improved:
+            improved = False
+            best: tuple[float, dict[int, int], CostEstimate] | None = None
+            for pid in dops:
+                if dops[pid] >= self.max_dop:
+                    continue
+                trial = dict(dops)
+                trial[pid] = min(self.max_dop, dops[pid] * 2)
+                estimate = self.estimator.estimate_dag(dag, trial)
+                evaluations += 1
+                gain = current.latency - estimate.latency
+                if gain <= 1e-9:
+                    continue
+                if best is None or estimate.latency < best[0]:
+                    best = (estimate.latency, trial, estimate)
+            if best is not None:
+                dops, current = best[1], best[2]
+                improved = True
+        return DopPlan(
+            dops=dops,
+            estimate=current,
+            feasible=True,
+            evaluations=evaluations,
+            constraint=None,
+        )

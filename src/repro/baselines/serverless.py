@@ -1,0 +1,115 @@
+"""Serverless query execution baseline (Starling/Lambada family, §1).
+
+"Starling and Lambada used cloud functions to execute queries to save
+cost by avoiding resource over-provisioning."  The model: every pipeline
+fans out to many small function workers billed per GB-second with no
+idle cost and no warm pool, but all exchanges are staged through shared
+object storage (functions cannot talk to each other directly).
+
+Cheap at low utilization and for short bursts; the storage-mediated
+exchange tax and per-invocation overhead make it lose on shuffle-heavy
+queries — the crossover experiments E4/E11 report.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.cost.estimate import CostEstimate, PipelineCost
+from repro.cost.operator_models import OperatorModels
+from repro.cost.volumes import pipeline_volumes
+from repro.errors import EstimationError
+from repro.plan.physical import PhysExchange
+from repro.plan.pipelines import PipelineDag
+from repro.util.units import GB, MB
+
+
+@dataclass(frozen=True)
+class ServerlessConfig:
+    """Cloud-function pricing and capability envelope (Lambda-like)."""
+
+    function_memory_gb: float = 2.0
+    function_cores: float = 1.0
+    price_per_gb_second: float = 1.6667e-5
+    price_per_invocation: float = 2e-7
+    invocation_startup_s: float = 0.25
+    max_functions_per_stage: int = 512
+    target_bytes_per_function: float = 256 * MB
+    storage_bandwidth_per_function: float = 90 * MB  # S3 stream per function
+
+    @property
+    def price_per_function_second(self) -> float:
+        return self.function_memory_gb * self.price_per_gb_second
+
+
+def serverless_estimate(
+    dag: PipelineDag,
+    models: OperatorModels,
+    config: ServerlessConfig | None = None,
+    overrides: dict[int, float] | None = None,
+) -> CostEstimate:
+    """Latency and dollars for executing the DAG on cloud functions.
+
+    Per pipeline: the function count follows input volume; compute rates
+    scale with the single function core; every exchange becomes a write +
+    read through object storage at function-grade bandwidth.
+    """
+    config = config or ServerlessConfig()
+    estimate = CostEstimate(latency=0.0, machine_seconds=0.0, dollars=0.0)
+    hw = models.hw
+    core_scale = config.function_cores / hw.node.cores
+
+    finish: dict[int, float] = {}
+    invocations_total = 0
+    for pipeline in dag.topological_order():
+        volumes = pipeline_volumes(pipeline, 1, overrides)
+        input_bytes = volumes[0].bytes_in if volumes else 0.0
+        functions = max(
+            1,
+            min(
+                config.max_functions_per_stage,
+                math.ceil(input_bytes / config.target_bytes_per_function),
+            ),
+        )
+        invocations_total += functions
+
+        # Compute time: reuse node-level CPU models scaled to one core,
+        # spread over the function fleet.
+        stream = 0.0
+        storage_tax = 0.0
+        for index, volume in enumerate(volumes):
+            if isinstance(volume.op.node, PhysExchange):
+                # Write out + read back through the object store.
+                per_fn = volume.bytes_in / functions
+                storage_tax += 2.0 * per_fn / config.storage_bandwidth_per_function
+                storage_tax += 2.0 * hw.store.request_latency_s
+                continue
+            op_time = models.op_time(volume, 1, pipeline=pipeline, index=index)
+            stream = max(stream, op_time.stream_s / (core_scale * functions))
+        duration = stream + storage_tax + config.invocation_startup_s
+
+        start = max(
+            (finish[dep] for dep in pipeline.blocking_deps), default=0.0
+        )
+        finish[pipeline.pipeline_id] = start + duration
+        machine = functions * duration
+        estimate.machine_seconds += machine
+        estimate.pipelines[pipeline.pipeline_id] = PipelineCost(
+            pipeline_id=pipeline.pipeline_id,
+            dop=functions,
+            start=start,
+            duration=duration,
+            waste=0.0,  # functions release instantly: no pinned idle time
+            bottleneck="serverless",
+            source_rows=volumes[0].rows_out if volumes else 0.0,
+        )
+
+    if not finish:
+        raise EstimationError("empty pipeline DAG")
+    estimate.latency = max(finish.values())
+    estimate.dollars = (
+        estimate.machine_seconds * config.price_per_function_second
+        + invocations_total * config.price_per_invocation
+    )
+    return estimate

@@ -1,0 +1,84 @@
+"""T-shirt-size provisioning baseline (paper Figure 1, §2).
+
+"Before submitting any queries, a user must determine the cluster size
+by choosing a predefined 'T-shirt' size ... This basic service model
+often leads to inefficient resource utilization."
+
+The baseline runs every pipeline of every query at the warehouse's size
+(uniform DOP).  ``TShirtProvisioner.pick_for_sla`` models the common
+user behavior the paper describes: pick the smallest size whose
+*estimated* latency meets the SLA, then over-provision by a safety
+factor because users "lack the expertise to accurately estimate the
+resource necessary".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.compute.pricing import TSHIRT_SIZES
+from repro.cost.estimate import CostEstimate
+from repro.cost.estimator import CostEstimator
+from repro.errors import OptimizerError
+from repro.plan.pipelines import PipelineDag
+
+
+def uniform_dops(dag: PipelineDag, size: int) -> dict[int, int]:
+    """Every pipeline runs at the warehouse size (no per-pipeline DOP)."""
+    if size < 1:
+        raise OptimizerError(f"warehouse size must be >= 1, got {size}")
+    return {p.pipeline_id: size for p in dag}
+
+
+@dataclass
+class TShirtChoice:
+    """A selected warehouse size and its predicted profile."""
+
+    size_name: str
+    nodes: int
+    estimate: CostEstimate
+
+
+class TShirtProvisioner:
+    """Chooses one T-shirt size per workload, Snowflake-UI style."""
+
+    def __init__(
+        self,
+        estimator: CostEstimator,
+        *,
+        overprovision_steps: int = 1,
+    ) -> None:
+        self.estimator = estimator
+        self.overprovision_steps = overprovision_steps
+
+    def estimate_at_size(self, dag: PipelineDag, nodes: int) -> CostEstimate:
+        return self.estimator.estimate_dag(dag, uniform_dops(dag, nodes))
+
+    def pick_for_sla(
+        self, dags: list[PipelineDag], sla_seconds: float
+    ) -> TShirtChoice:
+        """Smallest size meeting the SLA for *all* queries, then bumped by
+        ``overprovision_steps`` ladder steps (the §2 user behavior)."""
+        names = list(TSHIRT_SIZES)
+        chosen_index: int | None = None
+        chosen_estimate: CostEstimate | None = None
+        for index, name in enumerate(names):
+            nodes = TSHIRT_SIZES[name]
+            estimates = [self.estimate_at_size(dag, nodes) for dag in dags]
+            if all(e.latency <= sla_seconds for e in estimates):
+                chosen_index = index
+                chosen_estimate = estimates[0]
+                break
+        if chosen_index is None:
+            chosen_index = len(names) - 1
+            chosen_estimate = self.estimate_at_size(
+                dags[0], TSHIRT_SIZES[names[-1]]
+            )
+        bumped = min(len(names) - 1, chosen_index + self.overprovision_steps)
+        name = names[bumped]
+        assert chosen_estimate is not None
+        if bumped != chosen_index:
+            chosen_estimate = self.estimate_at_size(dags[0], TSHIRT_SIZES[name])
+        return TShirtChoice(
+            size_name=name, nodes=TSHIRT_SIZES[name], estimate=chosen_estimate
+        )

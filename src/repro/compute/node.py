@@ -1,0 +1,74 @@
+"""Compute node specifications.
+
+The paper assumes symmetric nodes (§3); hardware selection across instance
+families is explicitly out of scope (it defers to Leis & Kuschewski [19]).
+We therefore model a default warehouse node plus a couple of alternates so
+calibration code and tests can exercise spec-dependent paths.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.util.units import GB, MB
+
+
+@dataclass(frozen=True)
+class NodeSpec:
+    """Static description of one compute node (a VM in the warm pool)."""
+
+    name: str
+    cores: int
+    memory_bytes: int
+    network_bandwidth: float  # bytes/s, full-duplex per direction
+    local_disk_bandwidth: float  # bytes/s for spill
+    price_per_hour: float
+
+    @property
+    def price_per_second(self) -> float:
+        return self.price_per_hour / 3600.0
+
+    def __post_init__(self) -> None:
+        if self.cores <= 0:
+            raise ValueError(f"node {self.name} must have positive cores")
+        if self.price_per_hour < 0:
+            raise ValueError(f"node {self.name} has negative price")
+
+
+#: Catalog of node types.  ``standard`` is the symmetric node assumed by the
+#: paper's analysis; the others exist for calibration sweeps and tests.
+NODE_SPECS: dict[str, NodeSpec] = {
+    "standard": NodeSpec(
+        name="standard",
+        cores=8,
+        memory_bytes=64 * GB,
+        network_bandwidth=1.25 * GB,  # ~10 Gbps
+        local_disk_bandwidth=500 * MB,
+        price_per_hour=0.52,
+    ),
+    "compute-optimized": NodeSpec(
+        name="compute-optimized",
+        cores=16,
+        memory_bytes=32 * GB,
+        network_bandwidth=1.25 * GB,
+        local_disk_bandwidth=500 * MB,
+        price_per_hour=0.68,
+    ),
+    "memory-optimized": NodeSpec(
+        name="memory-optimized",
+        cores=8,
+        memory_bytes=128 * GB,
+        network_bandwidth=1.25 * GB,
+        local_disk_bandwidth=500 * MB,
+        price_per_hour=0.84,
+    ),
+}
+
+
+def node_spec(name: str) -> NodeSpec:
+    """Look up a node spec by name."""
+    try:
+        return NODE_SPECS[name]
+    except KeyError:
+        known = ", ".join(sorted(NODE_SPECS))
+        raise KeyError(f"unknown node spec {name!r}; known: {known}") from None

@@ -1,0 +1,20 @@
+"""Cost intelligence core: the bi-objective optimizer and the warehouse.
+
+This package wires the paper's architecture (Figure 3) together: the
+bi-objective optimizer turns a bound query plus a user constraint into a
+cost-aware distributed plan (DAG planning -> bushy variants -> DOP
+planning), and :class:`CostIntelligentWarehouse` is the user-facing
+service that optimizes, provisions, executes (simulated and/or local),
+meters cost, logs to the Statistics Service, and hosts background
+auto-tuning.
+"""
+
+from repro.core.bioptimizer import BiObjectiveOptimizer, PlanChoice
+from repro.core.warehouse import CostIntelligentWarehouse, QueryOutcome
+
+__all__ = [
+    "BiObjectiveOptimizer",
+    "PlanChoice",
+    "CostIntelligentWarehouse",
+    "QueryOutcome",
+]

@@ -1,0 +1,124 @@
+"""Bi-objective query optimizer (paper §3.2).
+
+Downgrades Pareto search to constrained single-objective optimization:
+
+1. *DAG planning*: classical left-deep join ordering and physical
+   planning (:class:`~repro.optimizer.dag_planner.DagPlanner`).
+2. *Bushy exploration*: generate increasingly bushy, non-expanding join
+   variants of the chosen left-deep order.
+3. *DOP planning*: for each variant, search per-pipeline DOPs that
+   minimize the constrained objective; pick the best variant.
+
+The search cost stays "comparable to a traditional cost-based optimizer":
+one join-ordering DP plus a handful of DOP searches, each linear in the
+number of pipelines per evaluation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.catalog.catalog import Catalog
+from repro.cost.estimator import CostEstimator
+from repro.dop.constraints import Constraint
+from repro.dop.planner import DopPlan, DopPlanner
+from repro.optimizer.bushy import bushiness, bushy_variants
+from repro.optimizer.dag_planner import DagPlanner
+from repro.optimizer.join_order import JoinTree, Leaf
+from repro.plan.physical import PhysNode
+from repro.plan.pipelines import PipelineDag, decompose_pipelines
+from repro.sql.binder import BoundQuery
+
+
+@dataclass
+class PlanChoice:
+    """The optimizer's selected cost-aware plan."""
+
+    plan: PhysNode
+    dag: PipelineDag
+    dop_plan: DopPlan
+    join_tree: JoinTree | Leaf
+    variant_index: int
+    bushiness: int
+    variants_considered: int
+
+    @property
+    def feasible(self) -> bool:
+        return self.dop_plan.feasible
+
+    def describe(self) -> str:
+        return (
+            f"variant {self.variant_index}/{self.variants_considered} "
+            f"(bushiness={self.bushiness})\n"
+            f"{self.dop_plan.describe()}"
+        )
+
+
+class BiObjectiveOptimizer:
+    """Produces cost-aware distributed plans under user constraints."""
+
+    def __init__(
+        self,
+        catalog: Catalog,
+        estimator: CostEstimator | None = None,
+        *,
+        max_dop: int = 64,
+        explore_bushy: bool = True,
+        max_variants: int = 4,
+    ) -> None:
+        self.catalog = catalog
+        self.estimator = estimator or CostEstimator()
+        self.dag_planner = DagPlanner(catalog)
+        self.dop_planner = DopPlanner(self.estimator, max_dop=max_dop)
+        self.explore_bushy = explore_bushy
+        self.max_variants = max_variants
+
+    def optimize(self, query: BoundQuery, constraint: Constraint) -> PlanChoice:
+        """Full §3.2 pipeline: DAG plan -> bushy variants -> DOP plans."""
+        base_tree = self.dag_planner.choose_join_tree(query)
+        variants: list[JoinTree | Leaf] = [base_tree]
+        if self.explore_bushy and len(query.tables) >= 4:
+            base_relations = {
+                ref.name: self.dag_planner.base_relation(query, ref.name)
+                for ref in query.tables
+            }
+            variants = bushy_variants(
+                base_tree,
+                base_relations,
+                query.join_edges,
+                self.dag_planner.estimator,
+                max_variants=self.max_variants,
+            )
+
+        best: PlanChoice | None = None
+        for index, tree in enumerate(variants):
+            plan = self.dag_planner.plan_with_tree(query, tree)
+            dag = decompose_pipelines(plan)
+            dop_plan = self.dop_planner.plan(dag, constraint)
+            choice = PlanChoice(
+                plan=plan,
+                dag=dag,
+                dop_plan=dop_plan,
+                join_tree=tree,
+                variant_index=index,
+                bushiness=bushiness(tree),
+                variants_considered=len(variants),
+            )
+            if best is None or _better(choice, best, constraint):
+                best = choice
+        assert best is not None
+        return best
+
+
+def _better(candidate: PlanChoice, incumbent: PlanChoice, constraint: Constraint) -> bool:
+    """Prefer feasible plans; among feasible, the lower objective wins."""
+    if candidate.feasible != incumbent.feasible:
+        return candidate.feasible
+    cand_obj = constraint.objective(candidate.dop_plan.estimate)
+    inc_obj = constraint.objective(incumbent.dop_plan.estimate)
+    if candidate.feasible:
+        return cand_obj < inc_obj
+    # Both infeasible: minimize constraint violation instead.
+    return constraint.bound_value(candidate.dop_plan.estimate) < constraint.bound_value(
+        incumbent.dop_plan.estimate
+    )

@@ -1,0 +1,336 @@
+"""The cost-intelligent cloud data warehouse facade (paper Figure 3).
+
+One object wiring the whole architecture: SQL frontend -> bi-objective
+optimizer (cost estimator inside) -> elastic compute (simulated cluster
+with the DOP monitor) -> billing -> Statistics Service logs ->
+background auto-tuning.  Users state a latency SLA or a budget per query
+— never a T-shirt size — and receive results plus an auditable cost
+report, exactly the interaction model §2 calls for.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.catalog.catalog import Catalog
+from repro.core.bioptimizer import BiObjectiveOptimizer, PlanChoice
+from repro.cost.estimator import CostEstimator
+from repro.cost.hardware import HardwareCalibration
+from repro.dop.constraints import Constraint
+from repro.engine.batch import Batch
+from repro.engine.database import Database
+from repro.engine.local_executor import LocalExecutor
+from repro.errors import ReproError
+from repro.monitor.policies import (
+    IntervalScalerPolicy,
+    PerStageScalerPolicy,
+    PipelineDopMonitor,
+    StaticPolicy,
+)
+from repro.plan.expressions import referenced_columns
+from repro.sim.distsim import DistributedSimulator, ScalingPolicy, SimConfig, SimResult
+from repro.sql.binder import Binder, BoundQuery
+from repro.statsvc.logs import QueryLogStore, QueryRecord
+from repro.tuning.advisor import AdvisorProposals, AutoTuningAdvisor
+from repro.tuning.background import BackgroundComputeService
+from repro.tuning.whatif import WhatIfService
+
+POLICY_NAMES = ("dop-monitor", "static", "interval-scaler", "stage-scaler")
+
+
+@dataclass
+class QueryOutcome:
+    """Everything one submission produced."""
+
+    sql: str
+    choice: PlanChoice
+    sim: SimResult | None
+    batch: Batch | None
+    record: QueryRecord
+    constraint: Constraint
+
+    @property
+    def latency(self) -> float:
+        if self.sim is not None:
+            return self.sim.latency
+        return self.choice.dop_plan.estimate.latency
+
+    @property
+    def dollars(self) -> float:
+        if self.sim is not None:
+            return self.sim.total_dollars
+        return self.choice.dop_plan.estimate.total_dollars
+
+    @property
+    def sla_met(self) -> bool | None:
+        if self.constraint.latency_sla is None:
+            return None
+        return self.latency <= self.constraint.latency_sla
+
+    def describe(self) -> str:
+        from repro.util.units import fmt_dollars, fmt_duration
+
+        lines = [
+            f"constraint: {self.constraint.describe()}",
+            f"plan: {self.choice.describe()}",
+            f"outcome: latency={fmt_duration(self.latency)} "
+            f"cost={fmt_dollars(self.dollars)}",
+        ]
+        if self.sla_met is not None:
+            lines.append(f"SLA met: {self.sla_met}")
+        return "\n".join(lines)
+
+
+class CostIntelligentWarehouse:
+    """The user-facing cost-intelligent warehouse service."""
+
+    def __init__(
+        self,
+        database: Database | None = None,
+        catalog: Catalog | None = None,
+        *,
+        hardware: HardwareCalibration | None = None,
+        estimator: CostEstimator | None = None,
+        sim_config: SimConfig | None = None,
+        max_dop: int = 64,
+        explore_bushy: bool = True,
+    ) -> None:
+        if database is None and catalog is None:
+            raise ReproError("provide a Database (with data) or a Catalog (stats-only)")
+        self.database = database
+        self.catalog = database.catalog if database is not None else catalog
+        assert self.catalog is not None
+        self.hw = hardware or HardwareCalibration()
+        self.estimator = estimator or CostEstimator(self.hw)
+        self.optimizer = BiObjectiveOptimizer(
+            self.catalog,
+            self.estimator,
+            max_dop=max_dop,
+            explore_bushy=explore_bushy,
+        )
+        self.binder = Binder(self.catalog)
+        self.sim_config = sim_config or SimConfig()
+        self.max_dop = max_dop
+        self.logs = QueryLogStore()
+        self.clock = 0.0
+        self._template_queries: dict[str, BoundQuery] = {}
+
+    # ------------------------------------------------------------------ #
+    # Query path
+    # ------------------------------------------------------------------ #
+    def submit(
+        self,
+        sql: str,
+        constraint: Constraint,
+        *,
+        template: str = "adhoc",
+        at_time: float | None = None,
+        policy: str | ScalingPolicy = "dop-monitor",
+        execute_locally: bool = False,
+        simulate: bool = True,
+        truth: dict[int, float] | None = None,
+    ) -> QueryOutcome:
+        """Optimize, (optionally) execute locally, and simulate one query.
+
+        ``truth`` overrides plan-node cardinalities in the simulator;
+        when ``execute_locally`` is set and the warehouse holds real
+        data, true cardinalities come from actual execution instead.
+        """
+        timestamp = self.clock if at_time is None else at_time
+        self.clock = max(self.clock, timestamp)
+
+        bound = self.binder.bind_sql(sql)
+        self._template_queries[template] = bound
+        choice = self.optimizer.optimize(bound, constraint)
+
+        batch: Batch | None = None
+        if execute_locally:
+            if self.database is None:
+                raise ReproError("cannot execute locally without a Database")
+            result = LocalExecutor(self.database).execute(choice.plan)
+            batch = result.batch
+            if truth is None:
+                truth = {k: float(v) for k, v in result.true_rows.items()}
+
+        sim_result: SimResult | None = None
+        if simulate:
+            sim_result = self._simulate(choice, constraint, policy, truth)
+
+        record = self._log(sql, bound, template, timestamp, choice, sim_result, constraint)
+        return QueryOutcome(
+            sql=sql,
+            choice=choice,
+            sim=sim_result,
+            batch=batch,
+            record=record,
+            constraint=constraint,
+        )
+
+    def _simulate(
+        self,
+        choice: PlanChoice,
+        constraint: Constraint,
+        policy: str | ScalingPolicy,
+        truth: dict[int, float] | None,
+    ) -> SimResult:
+        policy_obj = (
+            policy
+            if isinstance(policy, ScalingPolicy)
+            else self.make_policy(policy, choice, constraint)
+        )
+        config = self.sim_config
+        if getattr(policy_obj, "name", "") == "stage-scaler":
+            config = SimConfig(
+                **{**config.__dict__, "materialize_exchanges": True}
+            )
+        simulator = DistributedSimulator(
+            choice.dag,
+            choice.dop_plan.dops,
+            self.estimator.models,
+            truth=truth,
+            planned=choice.dop_plan.estimate,
+            policy=policy_obj,
+            config=config,
+        )
+        return simulator.run()
+
+    def make_policy(
+        self, name: str, choice: PlanChoice, constraint: Constraint
+    ) -> ScalingPolicy:
+        """Instantiate a scaling policy by name for one query."""
+        if name == "static":
+            return StaticPolicy()
+        if name == "dop-monitor":
+            return PipelineDopMonitor(
+                choice.dag,
+                self.estimator,
+                constraint,
+                choice.dop_plan.dops,
+                planned_latency=choice.dop_plan.estimate.latency,
+                planned_durations={
+                    pid: p.duration
+                    for pid, p in choice.dop_plan.estimate.pipelines.items()
+                },
+                max_dop=self.max_dop,
+            )
+        if name == "interval-scaler":
+            sla = constraint.latency_sla or choice.dop_plan.estimate.latency * 1.5
+            durations = {
+                pid: p.duration
+                for pid, p in choice.dop_plan.estimate.pipelines.items()
+            }
+            return IntervalScalerPolicy(
+                choice.dag,
+                sla,
+                choice.dop_plan.dops,
+                durations,
+                max_dop=self.max_dop,
+            )
+        if name == "stage-scaler":
+            return PerStageScalerPolicy(
+                choice.dag, choice.dop_plan.dops, max_dop=self.max_dop
+            )
+        raise ReproError(f"unknown policy {name!r}; known: {POLICY_NAMES}")
+
+    # ------------------------------------------------------------------ #
+    # Statistics Service logging
+    # ------------------------------------------------------------------ #
+    def _log(
+        self,
+        sql: str,
+        bound: BoundQuery,
+        template: str,
+        timestamp: float,
+        choice: PlanChoice,
+        sim: SimResult | None,
+        constraint: Constraint,
+    ) -> QueryRecord:
+        columns: set[str] = set()
+        filter_columns: set[str] = set()
+        for table in bound.table_names:
+            for column in bound.columns_needed(table):
+                columns.add(f"{table}.{column}")
+            for predicate in bound.filters.get(table, []):
+                for column in referenced_columns(predicate):
+                    filter_columns.add(column)
+        edges = tuple(
+            (
+                f"{e.left.table}.{e.left.name}",
+                f"{e.right.table}.{e.right.name}",
+            )
+            for e in bound.join_edges
+        )
+        latency = sim.latency if sim is not None else choice.dop_plan.estimate.latency
+        dollars = sim.total_dollars if sim is not None else choice.dop_plan.estimate.total_dollars
+        machine = (
+            sim.machine_seconds if sim is not None else choice.dop_plan.estimate.machine_seconds
+        )
+        bytes_scanned = sum(
+            op.node.input_bytes
+            for pipeline in choice.dag
+            for op in pipeline.ops
+            if hasattr(op.node, "input_bytes")
+        )
+        record = QueryRecord(
+            query_id=self.logs.next_query_id(),
+            timestamp=timestamp,
+            sql=sql,
+            template=template,
+            tables=tuple(bound.table_names),
+            columns=tuple(sorted(columns)),
+            join_edges=edges,
+            group_keys=tuple(k.name for k in bound.group_keys),
+            filter_columns=tuple(sorted(filter_columns)),
+            aggregate_sqls=tuple(a.sql() for a in bound.aggregates),
+            latency_s=latency,
+            machine_seconds=machine,
+            dollars=dollars,
+            bytes_scanned=bytes_scanned,
+            sla_seconds=constraint.latency_sla,
+        )
+        self.logs.append(record)
+        return record
+
+    # ------------------------------------------------------------------ #
+    # Background auto-tuning
+    # ------------------------------------------------------------------ #
+    def run_tuning_cycle(
+        self,
+        *,
+        apply: bool = False,
+        storage_budget_bytes: float | None = None,
+    ) -> AdvisorProposals:
+        """One advisor pass over the logged workload.
+
+        With ``apply=True``, accepted actions run on background compute
+        (physically when the warehouse holds data).
+        """
+        whatif = WhatIfService(self.catalog, self.estimator)
+        kwargs = {}
+        if storage_budget_bytes is not None:
+            kwargs["storage_budget_bytes"] = storage_budget_bytes
+        advisor = AutoTuningAdvisor(self.catalog, whatif, **kwargs)
+        proposals = advisor.propose(self.logs, self._template_queries)
+        if apply and proposals.accepted:
+            background = BackgroundComputeService(
+                database=self.database, catalog=self.catalog
+            )
+            from repro.tuning.clustering import ReclusterCandidate
+            from repro.tuning.mv import mv_candidate_from_query
+
+            for report in proposals.accepted:
+                if report.kind == "materialized-view":
+                    template = report.action_name.removeprefix("mv_")
+                    query = self._template_queries.get(template)
+                    if query is None:
+                        continue
+                    candidate = mv_candidate_from_query(
+                        query, self.catalog, name=report.action_name
+                    )
+                    background.apply_mv(candidate, report)
+                elif report.kind == "recluster":
+                    parts = report.action_name.removeprefix("recluster_").split("_on_")
+                    background.apply_recluster(
+                        ReclusterCandidate(table=parts[0], key=parts[1]), report
+                    )
+        return proposals

@@ -1,0 +1,69 @@
+"""Cost estimate result types."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class PipelineCost:
+    """Predicted execution profile of one pipeline."""
+
+    pipeline_id: int
+    dop: int
+    start: float
+    duration: float
+    waste: float
+    """Idle-but-billed node time span after finishing, waiting for the
+    consumer pipeline to start (the co-finish heuristic minimizes this)."""
+    bottleneck: str = ""
+    source_rows: float = 0.0
+
+    @property
+    def finish(self) -> float:
+        return self.start + self.duration
+
+    @property
+    def machine_seconds(self) -> float:
+        return self.dop * (self.duration + self.waste)
+
+
+@dataclass
+class CostEstimate:
+    """Predicted latency and monetary cost of one plan + DOP assignment.
+
+    ``dollars`` prices raw machine time (the estimator's view); the
+    simulator's billing meter layers lease minimums and resize overheads
+    on top of the same accounting.
+    """
+
+    latency: float
+    machine_seconds: float
+    dollars: float
+    pipelines: dict[int, PipelineCost] = field(default_factory=dict)
+    scan_request_dollars: float = 0.0
+
+    @property
+    def total_dollars(self) -> float:
+        return self.dollars + self.scan_request_dollars
+
+    @property
+    def total_waste_seconds(self) -> float:
+        return sum(p.dop * p.waste for p in self.pipelines.values())
+
+    def describe(self) -> str:
+        from repro.util.units import fmt_dollars, fmt_duration
+
+        lines = [
+            f"latency={fmt_duration(self.latency)} "
+            f"machine={fmt_duration(self.machine_seconds)} "
+            f"cost={fmt_dollars(self.total_dollars)}"
+        ]
+        for pid in sorted(self.pipelines):
+            p = self.pipelines[pid]
+            lines.append(
+                f"  P{pid}: dop={p.dop} start={p.start:.2f}s "
+                f"dur={p.duration:.2f}s waste={p.waste:.2f}s "
+                f"bottleneck={p.bottleneck}"
+            )
+        return "\n".join(lines)

@@ -1,0 +1,90 @@
+"""The cost estimator facade: plan + DOPs -> predicted time and dollars.
+
+Bundles the scalability models, exchange calibration, and the query-level
+simulator behind one object with the interface the rest of the system
+uses (the bi-objective optimizer, the DOP planner, the DOP monitor, and
+the What-If Service all "invoke the cost estimator").
+"""
+
+from __future__ import annotations
+
+from repro.cost.estimate import CostEstimate
+from repro.cost.hardware import HardwareCalibration
+from repro.cost.operator_models import OperatorModels
+from repro.cost.query_simulator import simulate_dag
+from repro.cost.regression import ExchangeCalibration
+from repro.plan.physical import PhysNode, PhysScan, walk_physical
+from repro.plan.pipelines import PipelineDag, decompose_pipelines
+
+
+class CostEstimator:
+    """Predicts latency / machine time / dollars for plan fragments."""
+
+    def __init__(
+        self,
+        hardware: HardwareCalibration | None = None,
+        exchange_calibration: ExchangeCalibration | None = None,
+        *,
+        price_per_node_second: float | None = None,
+    ) -> None:
+        self.hw = hardware or HardwareCalibration()
+        self.models = OperatorModels(self.hw, exchange_calibration)
+        self.price_per_node_second = (
+            price_per_node_second
+            if price_per_node_second is not None
+            else self.hw.node.price_per_second
+        )
+
+    # ------------------------------------------------------------------ #
+    # Main entry points
+    # ------------------------------------------------------------------ #
+    def estimate_dag(
+        self,
+        dag: PipelineDag,
+        dops: dict[int, int],
+        overrides: dict[int, float] | None = None,
+    ) -> CostEstimate:
+        """Estimate a pipeline DAG under a DOP assignment."""
+        estimate = simulate_dag(
+            dag,
+            dops,
+            self.models,
+            overrides=overrides,
+            price_per_node_second=self.price_per_node_second,
+        )
+        estimate.scan_request_dollars = self._scan_request_dollars(dag)
+        return estimate
+
+    def estimate_plan(
+        self,
+        plan: PhysNode,
+        dops: dict[int, int] | int,
+        overrides: dict[int, float] | None = None,
+    ) -> CostEstimate:
+        """Estimate a physical plan; ``dops`` may be one uniform DOP."""
+        dag = decompose_pipelines(plan)
+        if isinstance(dops, int):
+            dops = {p.pipeline_id: dops for p in dag}
+        return self.estimate_dag(dag, dops, overrides)
+
+    def throughput(self, pipeline, dop: int, overrides=None) -> float:
+        """Pipeline throughput T(dop) in source rows/second."""
+        return self.models.throughput(pipeline, dop, overrides)
+
+    # ------------------------------------------------------------------ #
+    # Secondary cost terms
+    # ------------------------------------------------------------------ #
+    def _scan_request_dollars(self, dag: PipelineDag) -> float:
+        """Object-store GET fees for the plan's scans."""
+        store = self.hw.store
+        chunk = 8 * 1024 * 1024  # ranged GETs of 8 MB
+        dollars = 0.0
+        seen: set[int] = set()
+        for pipeline in dag:
+            for op in pipeline.ops:
+                node = op.node
+                if isinstance(node, PhysScan) and node.node_id not in seen:
+                    seen.add(node.node_id)
+                    gets = max(1.0, node.input_bytes / chunk)
+                    dollars += gets * store.price_per_get
+        return dollars

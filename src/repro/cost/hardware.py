@@ -1,0 +1,89 @@
+"""Hardware calibration parameters for the cost models.
+
+The paper: "The model also refers to the relevant hardware parameters
+that are calibrated before the service starts."  These constants are the
+calibrated per-core/per-node processing rates the scalability models
+consume.  Defaults describe the ``standard`` warehouse node; the
+``calibrated()`` constructor derives them from a NodeSpec, and tests
+exercise alternates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.compute.node import NodeSpec, node_spec
+from repro.storage.objectstore import ObjectStoreConfig
+from repro.util.units import MB
+
+
+@dataclass(frozen=True)
+class HardwareCalibration:
+    """Per-core processing rates and fixed overheads.
+
+    Rates are deliberately round numbers of the right magnitude for
+    columnar engines on commodity VMs; experiments depend on ratios and
+    shapes, not the absolute values.
+    """
+
+    node: NodeSpec = field(default_factory=lambda: node_spec("standard"))
+    store: ObjectStoreConfig = field(default_factory=ObjectStoreConfig)
+
+    # CPU-side rates (per core, per second).
+    scan_bytes_per_core: float = 150.0 * MB  # decode + decompress
+    filter_rows_per_core: float = 50e6
+    project_rows_per_core_per_expr: float = 80e6
+    hash_build_rows_per_core: float = 8e6
+    hash_probe_rows_per_core: float = 12e6
+    agg_rows_per_core: float = 10e6
+    state_scan_rows_per_core: float = 40e6  # reading materialized state
+    sort_rows_per_core: float = 3e6  # at the reference size below
+    sort_reference_rows: float = 1e6
+
+    # Memory model.
+    hash_table_bytes_per_row: float = 48.0
+    hash_memory_fraction: float = 0.6  # usable node memory share for builds
+    spill_penalty: float = 3.0  # slowdown multiplier when fully spilling
+
+    # Exchange model (closed form; regression can recalibrate).
+    exchange_setup_s: float = 0.05
+    exchange_pair_setup_s: float = 0.004  # per peer connection, per node
+    broadcast_tree_factor: float = 0.35  # extra hops cost × log2(dop)
+    network_efficiency: float = 0.85  # achievable share of NIC bandwidth
+
+    # Scheduling overheads.
+    pipeline_startup_s: float = 0.15
+    morsel_rows: int = 65_536
+    morsel_overhead_s: float = 0.0002
+    warm_attach_latency_s: float = 1.5  # acquiring nodes from the warm pool
+
+    @classmethod
+    def calibrated(
+        cls,
+        spec: NodeSpec | str = "standard",
+        store: ObjectStoreConfig | None = None,
+        **overrides: float,
+    ) -> "HardwareCalibration":
+        """Calibration for a node spec, with optional per-rate overrides."""
+        if isinstance(spec, str):
+            spec = node_spec(spec)
+        return cls(node=spec, store=store or ObjectStoreConfig(), **overrides)
+
+    # ------------------------------------------------------------------ #
+    # Derived node-level rates
+    # ------------------------------------------------------------------ #
+    @property
+    def scan_bytes_per_node(self) -> float:
+        """Scan is bounded by CPU decode or the object store's per-node cap."""
+        return min(
+            self.node.cores * self.scan_bytes_per_core,
+            self.store.per_node_bandwidth,
+        )
+
+    @property
+    def network_bytes_per_node(self) -> float:
+        return self.node.network_bandwidth * self.network_efficiency
+
+    @property
+    def hash_memory_per_node(self) -> float:
+        return self.node.memory_bytes * self.hash_memory_fraction

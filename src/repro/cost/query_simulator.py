@@ -1,0 +1,103 @@
+"""Query-level analytic simulator (paper §3.1).
+
+"Based on the per-operator scalability models, we can compute the
+throughput of an operator pipeline given a DOP assignment and thus
+estimate its execution time and total machine time (∝ cost).  The query
+simulator then models the data flow in each pipeline of a query plan."
+
+This is the *lightweight* simulator the optimizer invokes many times per
+query: an ASAP schedule of the pipeline DAG where each pipeline runs for
+its modeled duration, concurrent pipelines overlap freely, and breaker
+pipelines hold their nodes (billed, idle) until their consumer starts —
+the "accumulated blocked time" the DOP planner minimizes.
+
+Not to be confused with :mod:`repro.sim.distsim`, the heavyweight
+discrete-event simulator that plays the role of the real cluster.
+"""
+
+from __future__ import annotations
+
+from repro.compute.node import NodeSpec
+from repro.cost.estimate import CostEstimate, PipelineCost
+from repro.cost.operator_models import OperatorModels
+from repro.errors import EstimationError
+from repro.plan.pipelines import PipelineDag
+
+
+def simulate_dag(
+    dag: PipelineDag,
+    dops: dict[int, int],
+    models: OperatorModels,
+    *,
+    overrides: dict[int, float] | None = None,
+    price_per_node_second: float | None = None,
+    include_provisioning: bool = True,
+) -> CostEstimate:
+    """Schedule the pipeline DAG and price it.
+
+    ``dops`` maps pipeline id -> degree of parallelism (node count).
+    ``overrides`` maps plan-node id -> observed true cardinality.
+    ``include_provisioning`` adds the warm-pool attach latency to every
+    pipeline that must acquire nodes beyond those inherited from its
+    finished producers.
+    """
+    spec: NodeSpec = models.hw.node
+    rate = (
+        price_per_node_second
+        if price_per_node_second is not None
+        else spec.price_per_second
+    )
+
+    inherited: dict[int, int] = {pid: 0 for pid in dops}
+    for pipeline in dag:
+        if pipeline.consumer_id is not None and pipeline.consumer_id in inherited:
+            inherited[pipeline.consumer_id] += dops.get(pipeline.pipeline_id, 0)
+
+    timings: dict[int, tuple[float, str, float]] = {}
+    for pipeline in dag:
+        pid = pipeline.pipeline_id
+        dop = dops.get(pid)
+        if dop is None:
+            raise EstimationError(f"no DOP for pipeline {pid}")
+        timing = models.pipeline_timing(pipeline, dop, overrides)
+        duration = timing.duration
+        if include_provisioning and dop > inherited.get(pid, 0):
+            duration += models.hw.warm_attach_latency_s
+        timings[pid] = (duration, timing.bottleneck, timing.source_rows)
+
+    # ASAP schedule over blocking dependencies.
+    start: dict[int, float] = {}
+    finish: dict[int, float] = {}
+    for pipeline in dag.topological_order():
+        pid = pipeline.pipeline_id
+        begin = max(
+            (finish[dep] for dep in pipeline.blocking_deps),
+            default=0.0,
+        )
+        start[pid] = begin
+        finish[pid] = begin + timings[pid][0]
+
+    estimate = CostEstimate(latency=0.0, machine_seconds=0.0, dollars=0.0)
+    latency = max(finish.values(), default=0.0)
+    for pipeline in dag:
+        pid = pipeline.pipeline_id
+        duration, bottleneck, source_rows = timings[pid]
+        if pipeline.consumer_id is not None:
+            waste = max(0.0, start[pipeline.consumer_id] - finish[pid])
+        else:
+            waste = 0.0
+        cost = PipelineCost(
+            pipeline_id=pid,
+            dop=dops[pid],
+            start=start[pid],
+            duration=duration,
+            waste=waste,
+            bottleneck=bottleneck,
+            source_rows=source_rows,
+        )
+        estimate.pipelines[pid] = cost
+        estimate.machine_seconds += cost.machine_seconds
+
+    estimate.latency = latency
+    estimate.dollars = estimate.machine_seconds * rate
+    return estimate

@@ -1,0 +1,275 @@
+"""DOP planner: constrained search over per-pipeline parallelism.
+
+Greedy marginal search with the cost estimator as referee:
+
+- **min cost s.t. latency SLA**: grow the DOP of the pipeline whose
+  doubling buys the most latency per added dollar until the SLA holds,
+  then co-finish-polish sibling groups and trim DOPs that no longer pay
+  for themselves.
+- **min latency s.t. budget**: grow DOPs while the budget allows,
+  picking the best latency-per-dollar move each round.
+
+The search evaluates the analytic estimator O(pipelines · log max_dop)
+times — the complexity the paper demands ("comparable to existing
+optimizers") versus the exponential unified search it rejects.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+
+from repro.cost.estimate import CostEstimate
+from repro.cost.estimator import CostEstimator
+from repro.dop.cofinish import equalize_siblings
+from repro.dop.constraints import Constraint
+from repro.errors import InfeasibleConstraintError
+from repro.plan.pipelines import PipelineDag
+
+
+@dataclass
+class DopPlan:
+    """A DOP assignment plus its predicted cost profile."""
+
+    dops: dict[int, int]
+    estimate: CostEstimate
+    feasible: bool
+    evaluations: int = 0
+    constraint: Constraint | None = None
+
+    @property
+    def max_dop(self) -> int:
+        return max(self.dops.values(), default=0)
+
+    def describe(self) -> str:
+        parts = [f"P{pid}:{dop}" for pid, dop in sorted(self.dops.items())]
+        status = "feasible" if self.feasible else "INFEASIBLE"
+        header = f"DOPs [{', '.join(parts)}] ({status})"
+        return f"{header}\n{self.estimate.describe()}"
+
+
+class DopPlanner:
+    """Searches DOP assignments for one pipeline DAG."""
+
+    def __init__(
+        self,
+        estimator: CostEstimator,
+        *,
+        max_dop: int = 64,
+        enforce_sla_strictly: bool = False,
+    ) -> None:
+        self.estimator = estimator
+        self.max_dop = max_dop
+        self.enforce_sla_strictly = enforce_sla_strictly
+        self._evaluations = 0
+
+    # ------------------------------------------------------------------ #
+    # Entry point
+    # ------------------------------------------------------------------ #
+    def plan(
+        self,
+        dag: PipelineDag,
+        constraint: Constraint,
+        overrides: dict[int, float] | None = None,
+    ) -> DopPlan:
+        self._evaluations = 0
+        if constraint.is_sla:
+            dops, feasible = self._plan_for_sla(dag, constraint, overrides)
+        else:
+            dops, feasible = self._plan_for_budget(dag, constraint, overrides)
+        estimate = self._evaluate(dag, dops, overrides)
+        if not feasible and self.enforce_sla_strictly:
+            raise InfeasibleConstraintError(
+                f"no DOP assignment satisfies {constraint.describe()}",
+                best_achievable=constraint.bound_value(estimate),
+            )
+        return DopPlan(
+            dops=dops,
+            estimate=estimate,
+            feasible=feasible,
+            evaluations=self._evaluations,
+            constraint=constraint,
+        )
+
+    # ------------------------------------------------------------------ #
+    # SLA mode: min dollars s.t. latency <= SLA
+    # ------------------------------------------------------------------ #
+    def _plan_for_sla(
+        self,
+        dag: PipelineDag,
+        constraint: Constraint,
+        overrides: dict[int, float] | None,
+    ) -> tuple[dict[int, int], bool]:
+        sla = constraint.bound()
+        dops = {p.pipeline_id: 1 for p in dag}
+        current = self._evaluate(dag, dops, overrides)
+
+        # Phase 1: grow until the SLA is met or no move helps.
+        while current.latency > sla:
+            move = self._best_growth_move(dag, dops, current, overrides)
+            if move is None:
+                break
+            dops, current = move
+        feasible = current.latency <= sla
+
+        # Phase 2: co-finish polish (never increases latency).
+        polished = equalize_siblings(
+            dag, dops, self.estimator.models, max_dop=self.max_dop, overrides=overrides
+        )
+        if polished != dops:
+            candidate = self._evaluate(dag, polished, overrides)
+            if candidate.latency <= max(current.latency, sla):
+                dops, current = polished, candidate
+
+        # Phase 3: trim DOPs whose halving keeps the SLA and saves money.
+        improved = True
+        while improved:
+            improved = False
+            for pid in sorted(dops):
+                if dops[pid] <= 1:
+                    continue
+                trial = dict(dops)
+                trial[pid] = max(1, dops[pid] // 2)
+                estimate = self._evaluate(dag, trial, overrides)
+                if (
+                    estimate.total_dollars < current.total_dollars
+                    and (estimate.latency <= sla or not feasible)
+                ):
+                    dops, current = trial, estimate
+                    improved = True
+        return dops, feasible
+
+    def _best_growth_move(
+        self,
+        dag: PipelineDag,
+        dops: dict[int, int],
+        current: CostEstimate,
+        overrides: dict[int, float] | None,
+    ) -> tuple[dict[int, int], CostEstimate] | None:
+        """The doubling with the best latency gain per added dollar."""
+        best: tuple[float, dict[int, int], CostEstimate] | None = None
+        for pid in dops:
+            if dops[pid] >= self.max_dop:
+                continue
+            trial = dict(dops)
+            trial[pid] = min(self.max_dop, dops[pid] * 2)
+            estimate = self._evaluate(dag, trial, overrides)
+            gain = current.latency - estimate.latency
+            if gain <= 1e-9:
+                continue
+            extra = max(1e-12, estimate.total_dollars - current.total_dollars)
+            score = gain / extra
+            if best is None or score > best[0]:
+                best = (score, trial, estimate)
+        if best is None:
+            return None
+        return best[1], best[2]
+
+    # ------------------------------------------------------------------ #
+    # Budget mode: min latency s.t. dollars <= budget
+    # ------------------------------------------------------------------ #
+    def _plan_for_budget(
+        self,
+        dag: PipelineDag,
+        constraint: Constraint,
+        overrides: dict[int, float] | None,
+    ) -> tuple[dict[int, int], bool]:
+        budget = constraint.bound()
+        dops = {p.pipeline_id: 1 for p in dag}
+        current = self._evaluate(dag, dops, overrides)
+        if current.total_dollars > budget:
+            # Even the minimal assignment exceeds the budget.
+            return dops, False
+
+        while True:
+            best: tuple[float, dict[int, int], CostEstimate] | None = None
+            for pid in dops:
+                if dops[pid] >= self.max_dop:
+                    continue
+                trial = dict(dops)
+                trial[pid] = min(self.max_dop, dops[pid] * 2)
+                estimate = self._evaluate(dag, trial, overrides)
+                if estimate.total_dollars > budget:
+                    continue
+                gain = current.latency - estimate.latency
+                if gain <= 1e-9:
+                    continue
+                extra = max(1e-12, estimate.total_dollars - current.total_dollars)
+                score = gain / extra
+                if best is None or score > best[0]:
+                    best = (score, trial, estimate)
+            if best is None:
+                break
+            dops, current = best[1], best[2]
+
+        polished = equalize_siblings(
+            dag, dops, self.estimator.models, max_dop=self.max_dop, overrides=overrides
+        )
+        if polished != dops:
+            candidate = self._evaluate(dag, polished, overrides)
+            if (
+                candidate.total_dollars <= budget
+                and candidate.latency <= current.latency + 1e-9
+            ):
+                dops = polished
+        return dops, True
+
+    # ------------------------------------------------------------------ #
+    # Shared
+    # ------------------------------------------------------------------ #
+    def _evaluate(
+        self,
+        dag: PipelineDag,
+        dops: dict[int, int],
+        overrides: dict[int, float] | None,
+    ) -> CostEstimate:
+        self._evaluations += 1
+        return self.estimator.estimate_dag(dag, dops, overrides)
+
+
+def exhaustive_search(
+    dag: PipelineDag,
+    constraint: Constraint,
+    estimator: CostEstimator,
+    *,
+    dop_choices: tuple[int, ...] = (1, 2, 4, 8, 16, 32, 64),
+    overrides: dict[int, float] | None = None,
+) -> DopPlan:
+    """Brute-force optimum over a DOP grid (tests & heuristic-quality
+    experiments only — exponential in the number of pipelines)."""
+    pids = [p.pipeline_id for p in dag]
+    best: tuple[float, dict[int, int], CostEstimate] | None = None
+    evaluations = 0
+    for combo in itertools.product(dop_choices, repeat=len(pids)):
+        dops = dict(zip(pids, combo))
+        estimate = estimator.estimate_dag(dag, dops, overrides)
+        evaluations += 1
+        if not constraint.satisfied(estimate):
+            continue
+        objective = constraint.objective(estimate)
+        if best is None or objective < best[0]:
+            best = (objective, dops, estimate)
+    if best is None:
+        # Infeasible everywhere: fall back to the bound-minimizing combo.
+        for combo in itertools.product(dop_choices, repeat=len(pids)):
+            dops = dict(zip(pids, combo))
+            estimate = estimator.estimate_dag(dag, dops, overrides)
+            evaluations += 1
+            value = constraint.bound_value(estimate)
+            if best is None or value < best[0]:
+                best = (value, dops, estimate)
+        assert best is not None
+        return DopPlan(
+            dops=best[1],
+            estimate=best[2],
+            feasible=False,
+            evaluations=evaluations,
+            constraint=constraint,
+        )
+    return DopPlan(
+        dops=best[1],
+        estimate=best[2],
+        feasible=True,
+        evaluations=evaluations,
+        constraint=constraint,
+    )

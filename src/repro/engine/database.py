@@ -1,0 +1,108 @@
+"""Database: catalog + stored tables + object-store, bundled.
+
+One object that owns everything a query needs: the metadata (catalog with
+statistics and dictionaries), the physical data (micro-partitioned stored
+tables), and the object-store pricing envelope.  The warehouse facade,
+the local engine, and the workload loaders all share this.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.catalog.catalog import Catalog, TableEntry
+from repro.catalog.schema import DataType, TableSchema
+from repro.catalog.statistics import build_table_stats
+from repro.errors import CatalogError
+from repro.storage.micropartition import DEFAULT_PARTITION_ROWS
+from repro.storage.objectstore import ObjectStore
+from repro.storage.table_storage import StoredTable
+
+
+class Database:
+    """Holds the catalog and the physical tables backing it."""
+
+    def __init__(self, object_store: ObjectStore | None = None) -> None:
+        self.catalog = Catalog()
+        self.store = object_store or ObjectStore()
+        self._tables: dict[str, StoredTable] = {}
+
+    # ------------------------------------------------------------------ #
+    # Loading
+    # ------------------------------------------------------------------ #
+    def create_table(
+        self,
+        schema: TableSchema,
+        columns: dict[str, np.ndarray],
+        *,
+        dictionaries: dict[str, tuple[str, ...]] | None = None,
+        partition_rows: int = DEFAULT_PARTITION_ROWS,
+        cluster_key: str | None = None,
+        stats_sample_rate: float = 1.0,
+    ) -> TableEntry:
+        """Materialize a table: partitions, zone maps, stats, catalog entry.
+
+        ``dictionaries`` maps STRING column names to their sorted value
+        dictionaries (codes must already be applied to ``columns``).
+        """
+        dictionaries = dictionaries or {}
+        for col in schema.columns:
+            if col.dtype is DataType.STRING and col.name not in dictionaries:
+                raise CatalogError(
+                    f"string column {schema.name}.{col.name} needs a dictionary"
+                )
+        stored = StoredTable.from_columns(
+            schema,
+            columns,
+            partition_rows=partition_rows,
+            cluster_key=cluster_key,
+        )
+        stats = build_table_stats(schema, columns, sample_rate=stats_sample_rate)
+        depth = 1.0
+        if cluster_key is not None:
+            depth = stored.clustering_depth(cluster_key)
+        entry = TableEntry(
+            schema=stored.schema,
+            stats=stats,
+            storage_bytes=stored.stored_bytes(),
+            num_partitions=stored.num_partitions,
+            dictionaries=dict(dictionaries),
+            clustering_depth=depth,
+        )
+        self.catalog.register_table(entry, replace_existing=False)
+        self._tables[schema.name] = stored
+        self.store.put(f"tables/{schema.name}", stored.stored_bytes())
+        return entry
+
+    def replace_table_storage(self, name: str, stored: StoredTable) -> None:
+        """Swap a table's physical layout (used by the recluster action)."""
+        if name not in self._tables:
+            raise CatalogError(f"unknown table {name!r}")
+        self._tables[name] = stored
+        entry = self.catalog.table(name)
+        key = stored.schema.clustering_key
+        depth = stored.clustering_depth(key) if key else 1.0
+        self.catalog.set_clustering(name, key, depth)
+        if self.store.exists(f"tables/{name}"):
+            self.store.delete(f"tables/{name}")
+        self.store.put(f"tables/{name}", stored.stored_bytes())
+
+    # ------------------------------------------------------------------ #
+    # Access
+    # ------------------------------------------------------------------ #
+    def stored_table(self, name: str) -> StoredTable:
+        try:
+            return self._tables[name]
+        except KeyError:
+            raise CatalogError(f"unknown table {name!r}") from None
+
+    @property
+    def table_names(self) -> tuple[str, ...]:
+        return tuple(self._tables)
+
+    def decode_strings(self, table: str, column: str, codes: np.ndarray) -> list[str]:
+        """Translate dictionary codes back to strings (for display)."""
+        dictionary = self.catalog.table(table).dictionaries.get(column)
+        if dictionary is None:
+            raise CatalogError(f"{table}.{column} has no dictionary")
+        return [dictionary[int(code)] for code in codes]

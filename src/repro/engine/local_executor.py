@@ -1,0 +1,114 @@
+"""Local plan executor: runs a physical plan on real data.
+
+Returns the result batch plus *true per-operator cardinalities*, which
+are the run-time feedback signal for the DOP monitor experiments (§3.3)
+and the accuracy baseline for the cardinality estimator tests.
+
+Two-phase aggregation note: ``AggMode.PARTIAL`` operators are executed as
+pass-through here (the FINAL phase sees all rows and produces identical
+results); the partial phase only matters for the distributed cost models.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+from repro.engine.batch import Batch
+from repro.engine.database import Database
+from repro.engine.operators import (
+    execute_aggregate,
+    execute_filter,
+    execute_hash_join,
+    execute_limit,
+    execute_project,
+    execute_scan,
+    execute_sort,
+)
+from repro.errors import ExecutionError
+from repro.plan.physical import (
+    AggMode,
+    PhysAggregate,
+    PhysExchange,
+    PhysFilter,
+    PhysHashJoin,
+    PhysLimit,
+    PhysNode,
+    PhysProject,
+    PhysScan,
+    PhysSort,
+)
+
+
+@dataclass
+class ExecutionResult:
+    """Result batch plus per-node truth used as run-time feedback."""
+
+    batch: Batch
+    true_rows: dict[int, int] = field(default_factory=dict)
+    partitions_read: dict[int, int] = field(default_factory=dict)
+    rows_scanned: dict[int, int] = field(default_factory=dict)
+    wall_seconds: float = 0.0
+
+    @property
+    def num_rows(self) -> int:
+        return self.batch.num_rows
+
+
+class LocalExecutor:
+    """Executes physical plans against a :class:`Database`."""
+
+    def __init__(self, database: Database) -> None:
+        self.database = database
+
+    def execute(self, plan: PhysNode) -> ExecutionResult:
+        result = ExecutionResult(batch=Batch({}))
+        started = time.perf_counter()
+        result.batch = self._run(plan, result)
+        result.wall_seconds = time.perf_counter() - started
+        return result
+
+    def _run(self, node: PhysNode, result: ExecutionResult) -> Batch:
+        if isinstance(node, PhysScan):
+            table = self.database.stored_table(node.table)
+            batch, partitions, rows_read = execute_scan(
+                table, node.columns, node.predicate
+            )
+            result.partitions_read[node.node_id] = partitions
+            result.rows_scanned[node.node_id] = rows_read
+        elif isinstance(node, PhysFilter):
+            batch = execute_filter(self._run(node.child, result), node.predicate)
+        elif isinstance(node, PhysProject):
+            batch = execute_project(self._run(node.child, result), node.exprs, node.names)
+        elif isinstance(node, PhysExchange):
+            batch = self._run(node.child, result)  # exchange is a no-op locally
+        elif isinstance(node, PhysHashJoin):
+            build = self._run(node.build, result)
+            probe = self._run(node.probe, result)
+            batch = execute_hash_join(
+                build, probe, node.build_keys, node.probe_keys, node.residual
+            )
+        elif isinstance(node, PhysAggregate):
+            child = self._run(node.child, result)
+            if node.mode is AggMode.PARTIAL:
+                batch = child
+            else:
+                batch = execute_aggregate(
+                    child,
+                    node.group_keys,
+                    node.aggregates,
+                    node.agg_names,
+                )
+        elif isinstance(node, PhysSort):
+            batch = execute_sort(
+                self._run(node.child, result),
+                node.keys,
+                node.ascending,
+                node.limit,
+            )
+        elif isinstance(node, PhysLimit):
+            batch = execute_limit(self._run(node.child, result), node.limit)
+        else:
+            raise ExecutionError(f"cannot execute {type(node).__name__}")
+        result.true_rows[node.node_id] = batch.num_rows
+        return batch

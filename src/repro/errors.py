@@ -1,0 +1,79 @@
+"""Exception hierarchy for the repro package.
+
+Every error raised by this library derives from :class:`ReproError` so that
+callers can catch library failures with a single ``except`` clause while
+still being able to distinguish subsystems.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class CatalogError(ReproError):
+    """Schema or metadata problem (unknown table/column, duplicate name...)."""
+
+
+class StorageError(ReproError):
+    """Object-store or micro-partition level failure."""
+
+
+class ComputeError(ReproError):
+    """Elastic-compute layer failure (pool exhausted, invalid resize...)."""
+
+
+class SqlError(ReproError):
+    """SQL front-end failure. Carries an optional source position."""
+
+    def __init__(self, message: str, position: int | None = None) -> None:
+        if position is not None:
+            message = f"{message} (at offset {position})"
+        super().__init__(message)
+        self.position = position
+
+
+class ParseError(SqlError):
+    """Raised by the lexer/parser on malformed SQL text."""
+
+
+class BindError(SqlError):
+    """Raised by the binder when names cannot be resolved."""
+
+
+class PlanError(ReproError):
+    """Invalid logical/physical plan construction or transformation."""
+
+
+class OptimizerError(ReproError):
+    """Optimizer failure (no feasible plan, search error...)."""
+
+
+class EstimationError(ReproError):
+    """Cost-estimation failure (missing calibration, invalid input...)."""
+
+
+class InfeasibleConstraintError(OptimizerError):
+    """No plan satisfies the user's latency SLA or budget constraint.
+
+    The optimizer attaches the best achievable value so callers can report
+    "tightest achievable" to the user, mirroring the paper's goal of making
+    trade-offs explicit.
+    """
+
+    def __init__(self, message: str, best_achievable: float | None = None) -> None:
+        super().__init__(message)
+        self.best_achievable = best_achievable
+
+
+class ExecutionError(ReproError):
+    """Local engine or distributed-simulation failure at run time."""
+
+
+class TuningError(ReproError):
+    """Auto-tuning / what-if service failure."""
+
+
+class WorkloadError(ReproError):
+    """Workload generation failure (bad scale factor, unknown template...)."""

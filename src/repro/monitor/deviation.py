@@ -1,0 +1,49 @@
+"""Deviation detection for the DOP monitor.
+
+"If the measures of a pipeline deviate from the statically-planned
+values within a threshold, we correct the deviation by adjusting the DOP
+of this pipeline only ... If the deviation is substantial, we will
+reinvoke the DOP planner" (§3.3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ReproError
+
+
+def deviation_ratio(observed: float, planned: float) -> float:
+    """Symmetric deviation: max(obs/plan, plan/obs); 1.0 = on plan."""
+    if observed <= 0 or planned <= 0:
+        return 1.0
+    ratio = observed / planned
+    return max(ratio, 1.0 / ratio)
+
+
+@dataclass(frozen=True)
+class DeviationThresholds:
+    """Two-level thresholds separating the §3.3 reactions.
+
+    deviation <= minor  -> leave the plan alone
+    minor < deviation <= major -> adjust this pipeline's DOP only
+    deviation > major  -> re-invoke the DOP planner for pending pipelines
+    """
+
+    minor: float = 1.3
+    major: float = 3.0
+
+    def __post_init__(self) -> None:
+        if not 1.0 <= self.minor <= self.major:
+            raise ReproError(
+                f"thresholds must satisfy 1 <= minor <= major, got "
+                f"{self.minor}, {self.major}"
+            )
+
+    def classify(self, deviation: float) -> str:
+        """Return 'none', 'adjust', or 'replan'."""
+        if deviation <= self.minor:
+            return "none"
+        if deviation <= self.major:
+            return "adjust"
+        return "replan"

@@ -1,0 +1,181 @@
+"""Bushy join-plan variants (paper §3.2).
+
+The paper proposes exploring bushy plans *after* DAG planning: take the
+left-deep plan, reorganize the join shape into a series of increasingly
+bushier variants whose reshaped joins are bounded (non-expanding), then
+let DOP planning cost each variant under the user's constraint.  Bushier
+plans expose more concurrent pipelines (lower latency potential) at the
+price of more total machine time.
+
+This module generates the variants; ranking them is the bi-objective
+optimizer's job (:mod:`repro.core.bioptimizer`).
+"""
+
+from __future__ import annotations
+
+from repro.errors import OptimizerError
+from repro.optimizer.cardinality import CardinalityEstimator, EstimatedRelation
+from repro.optimizer.join_order import (
+    JoinTree,
+    Leaf,
+    connecting_edges,
+    linearize,
+)
+from repro.sql.binder import JoinEdge
+
+
+def estimate_tree(
+    tree: JoinTree | Leaf,
+    base_relations: dict[str, EstimatedRelation],
+    estimator: CardinalityEstimator,
+) -> EstimatedRelation:
+    """Estimated output relation of a join tree."""
+    if isinstance(tree, Leaf):
+        return base_relations[tree.table]
+    left = estimate_tree(tree.left, base_relations, estimator)
+    right = estimate_tree(tree.right, base_relations, estimator)
+    return estimator.join(left, right, list(tree.edges))
+
+
+def bushiness(tree: JoinTree | Leaf) -> int:
+    """Number of join nodes whose children are *both* join nodes.
+
+    0 for left-deep trees; grows as the tree becomes balanced.
+    """
+    if isinstance(tree, Leaf):
+        return 0
+    own = int(isinstance(tree.left, JoinTree) and isinstance(tree.right, JoinTree))
+    return own + bushiness(tree.left) + bushiness(tree.right)
+
+
+def tree_depth(tree: JoinTree | Leaf) -> int:
+    if isinstance(tree, Leaf):
+        return 0
+    return 1 + max(tree_depth(tree.left), tree_depth(tree.right))
+
+
+def bushy_variants(
+    tree: JoinTree | Leaf,
+    base_relations: dict[str, EstimatedRelation],
+    edges: list[JoinEdge],
+    estimator: CardinalityEstimator,
+    *,
+    expansion_limit: float = 2.0,
+    max_variants: int = 8,
+) -> list[JoinTree | Leaf]:
+    """Generate increasingly bushy variants of a (left-deep) join tree.
+
+    Variants are produced by cutting the linear join order into connected
+    halves joined at the top (single cut), and by recursively balancing
+    both halves.  A variant is kept only when every reshaped subtree join
+    is *bounded*: its output is at most ``expansion_limit`` times the
+    larger input (the paper's "non-expanding joins" guard).  The original
+    tree is always variant 0; the list is sorted by increasing bushiness.
+    """
+    order = linearize(tree)
+    variants: list[JoinTree | Leaf] = [tree]
+    seen: set[str] = {tree.describe()}
+
+    def try_add(candidate: JoinTree | Leaf | None) -> None:
+        if candidate is None:
+            return
+        key = candidate.describe()
+        if key in seen:
+            return
+        if not _bounded(candidate, base_relations, estimator, expansion_limit):
+            return
+        seen.add(key)
+        variants.append(candidate)
+
+    # Single-cut variants: ((prefix) ⋈ (suffix)).
+    for cut in range(2, len(order) - 1):
+        try_add(_join_halves(order[:cut], order[cut:], edges))
+
+    # Fully balanced recursive variant.
+    try_add(_balanced(order, edges))
+
+    variants.sort(key=lambda t: (bushiness(t), -tree_depth(t)))
+    return variants[:max_variants]
+
+
+# ---------------------------------------------------------------------- #
+# Construction helpers
+# ---------------------------------------------------------------------- #
+def _join_halves(
+    left_tables: list[str], right_tables: list[str], edges: list[JoinEdge]
+) -> JoinTree | None:
+    left = _left_deep(left_tables, edges)
+    right = _left_deep(right_tables, edges)
+    if left is None or right is None:
+        return None
+    top_edges = connecting_edges(edges, left.tables(), right.tables())
+    if not top_edges:
+        return None
+    return JoinTree(left=left, right=right, edges=top_edges)
+
+
+def _left_deep(tables: list[str], edges: list[JoinEdge]) -> JoinTree | Leaf | None:
+    """Left-deep tree over ``tables``; greedy-reorders to stay connected."""
+    if not tables:
+        return None
+    remaining = list(tables)
+    tree: JoinTree | Leaf = Leaf(remaining.pop(0))
+    while remaining:
+        for index, table in enumerate(remaining):
+            joining = connecting_edges(edges, tree.tables(), frozenset([table]))
+            if joining:
+                tree = JoinTree(left=tree, right=Leaf(table), edges=joining)
+                remaining.pop(index)
+                break
+        else:
+            return None  # disconnected within this half
+    return tree
+
+
+def _balanced(order: list[str], edges: list[JoinEdge]) -> JoinTree | Leaf | None:
+    """Recursively balanced tree over the linear order, if connected."""
+    if len(order) == 1:
+        return Leaf(order[0])
+    if len(order) == 2:
+        return _left_deep(order, edges)
+    mid = len(order) // 2
+    left = _balanced(order[:mid], edges)
+    right = _balanced(order[mid:], edges)
+    if left is None or right is None:
+        # Fall back to a single cut at the midpoint.
+        return _join_halves(order[:mid], order[mid:], edges)
+    top_edges = connecting_edges(edges, left.tables(), right.tables())
+    if not top_edges:
+        return None
+    return JoinTree(left=left, right=right, edges=top_edges)
+
+
+def _bounded(
+    tree: JoinTree | Leaf,
+    base_relations: dict[str, EstimatedRelation],
+    estimator: CardinalityEstimator,
+    expansion_limit: float,
+) -> bool:
+    """Check every join in ``tree`` is non-expanding within the limit."""
+    try:
+        return _bounded_inner(tree, base_relations, estimator, expansion_limit) is not None
+    except OptimizerError:
+        return False
+
+
+def _bounded_inner(
+    tree: JoinTree | Leaf,
+    base_relations: dict[str, EstimatedRelation],
+    estimator: CardinalityEstimator,
+    expansion_limit: float,
+) -> EstimatedRelation | None:
+    if isinstance(tree, Leaf):
+        return base_relations[tree.table]
+    left = _bounded_inner(tree.left, base_relations, estimator, expansion_limit)
+    right = _bounded_inner(tree.right, base_relations, estimator, expansion_limit)
+    if left is None or right is None:
+        return None
+    joined = estimator.join(left, right, list(tree.edges))
+    if joined.rows > expansion_limit * max(left.rows, right.rows, 1.0):
+        return None
+    return joined

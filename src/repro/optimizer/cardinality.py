@@ -1,0 +1,273 @@
+"""Cardinality estimation from catalog statistics.
+
+Classical, explainable estimators (paper §3.1 argues for explainability
+over black-box accuracy): histogram selectivities with independence
+across conjuncts, containment-based equi-join estimation, and NDV-based
+group counts.  All estimates flow through :class:`EstimatedRelation`,
+which tracks row count, per-column NDV, and row width so that multi-way
+joins and aggregations compose.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.catalog.catalog import Catalog, TableEntry
+from repro.catalog.statistics import ColumnStats
+from repro.errors import EstimationError
+from repro.plan.expressions import (
+    BinaryOp,
+    ColumnRef,
+    Expr,
+    InList,
+    Literal,
+    UnaryOp,
+    conjuncts,
+)
+from repro.plan.predicates import extract_column_ranges
+from repro.sql.binder import JoinEdge
+
+#: Fallback selectivity for predicates the estimator cannot analyze.
+DEFAULT_SELECTIVITY = 0.33
+
+
+@dataclass
+class EstimatedRelation:
+    """An estimated intermediate result."""
+
+    rows: float
+    ndv: dict[str, float] = field(default_factory=dict)
+    width_bytes: float = 0.0
+    tables: frozenset[str] = frozenset()
+
+    @property
+    def bytes(self) -> float:
+        return self.rows * self.width_bytes
+
+    def column_ndv(self, name: str) -> float:
+        try:
+            return max(1.0, min(self.ndv[name], self.rows))
+        except KeyError:
+            raise EstimationError(f"no NDV tracked for column {name!r}") from None
+
+
+class CardinalityEstimator:
+    """Estimates cardinalities for scans, joins, and aggregations."""
+
+    def __init__(self, catalog: Catalog) -> None:
+        self.catalog = catalog
+
+    # ------------------------------------------------------------------ #
+    # Selectivity of predicates on a single base table
+    # ------------------------------------------------------------------ #
+    def selectivity(self, table: str, predicate: Expr | None) -> float:
+        """Combined selectivity of a predicate on a base table.
+
+        Conjuncts multiply (attribute-independence assumption — the
+        standard, explainable, and famously imperfect choice; the DOP
+        monitor exists to absorb exactly these errors).
+        """
+        if predicate is None:
+            return 1.0
+        entry = self.catalog.table(table)
+        result = 1.0
+        for conjunct in conjuncts(predicate):
+            result *= self._conjunct_selectivity(entry, conjunct)
+        return max(0.0, min(1.0, result))
+
+    def _conjunct_selectivity(self, entry: TableEntry, expr: Expr) -> float:
+        if isinstance(expr, BinaryOp) and expr.op == "or":
+            left = self._conjunct_selectivity(entry, expr.left)
+            right = self._conjunct_selectivity(entry, expr.right)
+            return min(1.0, left + right - left * right)
+        if isinstance(expr, UnaryOp) and expr.op == "not":
+            return 1.0 - self._conjunct_selectivity(entry, expr.operand)
+        if isinstance(expr, InList):
+            return self._in_list_selectivity(entry, expr)
+        simple = self._simple_comparison(expr)
+        if simple is not None:
+            column, op, value = simple
+            return self._comparison_selectivity(entry, column, op, value)
+        return DEFAULT_SELECTIVITY
+
+    @staticmethod
+    def _simple_comparison(expr: Expr) -> tuple[str, str, float] | None:
+        if not isinstance(expr, BinaryOp):
+            return None
+        if expr.op not in ("=", "<>", "<", "<=", ">", ">="):
+            return None
+        left, right = expr.left, expr.right
+        if isinstance(left, ColumnRef) and isinstance(right, Literal):
+            if isinstance(right.value, str):
+                return None
+            return (left.name, expr.op, float(right.value))
+        if isinstance(left, Literal) and isinstance(right, ColumnRef):
+            if isinstance(left.value, str):
+                return None
+            flipped = {"<": ">", "<=": ">=", ">": "<", ">=": "<=", "=": "=", "<>": "<>"}
+            return (right.name, flipped[expr.op], float(left.value))
+        return None
+
+    def _comparison_selectivity(
+        self, entry: TableEntry, column: str, op: str, value: float
+    ) -> float:
+        if not entry.stats.has_column(column):
+            return DEFAULT_SELECTIVITY
+        stats = entry.stats.column(column)
+        histogram = stats.histogram
+        if histogram is None or stats.row_count == 0:
+            return DEFAULT_SELECTIVITY
+        if op == "=":
+            return histogram.selectivity_eq(value, stats.ndv)
+        if op == "<>":
+            return 1.0 - histogram.selectivity_eq(value, stats.ndv)
+        if op in ("<", "<="):
+            return histogram.selectivity_le(value)
+        if op in (">", ">="):
+            return 1.0 - histogram.selectivity_le(value)
+        raise EstimationError(f"unexpected comparison operator {op!r}")
+
+    def _in_list_selectivity(self, entry: TableEntry, expr: InList) -> float:
+        if not isinstance(expr.operand, ColumnRef):
+            return DEFAULT_SELECTIVITY
+        column = expr.operand.name
+        if not entry.stats.has_column(column):
+            return DEFAULT_SELECTIVITY
+        stats = entry.stats.column(column)
+        histogram = stats.histogram
+        if histogram is None:
+            selectivity = min(1.0, len(expr.values) / max(1, stats.ndv))
+        else:
+            selectivity = min(
+                1.0,
+                sum(
+                    histogram.selectivity_eq(float(v), stats.ndv)
+                    for v in expr.values
+                    if not isinstance(v, str)
+                ),
+            )
+        return 1.0 - selectivity if expr.negated else selectivity
+
+    # ------------------------------------------------------------------ #
+    # Base relations
+    # ------------------------------------------------------------------ #
+    def base_relation(
+        self,
+        table: str,
+        predicate: Expr | None,
+        columns: tuple[str, ...],
+    ) -> EstimatedRelation:
+        """Estimated output of scanning ``table`` with pushed filters."""
+        entry = self.catalog.table(table)
+        selectivity = self.selectivity(table, predicate)
+        rows = entry.row_count * selectivity
+        ndv: dict[str, float] = {}
+        width = 0.0
+        for name in columns:
+            column = entry.schema.column(name)
+            width += column.dtype.width_bytes
+            base_ndv = (
+                entry.stats.column(name).ndv
+                if entry.stats.has_column(name)
+                else entry.row_count
+            )
+            ndv[name] = _filtered_ndv(base_ndv, entry.row_count, selectivity)
+        return EstimatedRelation(
+            rows=rows, ndv=ndv, width_bytes=width, tables=frozenset([table])
+        )
+
+    def scan_partition_fraction(self, table: str, predicate: Expr | None) -> float:
+        """Estimated fraction of micro-partitions read after pruning.
+
+        Pruning is only predictable on the clustering key: a range
+        covering fraction ``s`` of a well-clustered domain touches about
+        ``s + depth`` of the partitions.  Other columns assume no pruning.
+        """
+        entry = self.catalog.table(table)
+        key = entry.schema.clustering_key
+        if key is None or predicate is None:
+            return 1.0
+        ranges = extract_column_ranges(predicate)
+        key_range = ranges.get(key)
+        if key_range is None:
+            return 1.0
+        if not entry.stats.has_column(key):
+            return 1.0
+        stats = entry.stats.column(key)
+        histogram = stats.histogram
+        if histogram is None:
+            return 1.0
+        coverage = histogram.selectivity_range(key_range.lo, key_range.hi)
+        return min(1.0, coverage + entry.clustering_depth)
+
+    # ------------------------------------------------------------------ #
+    # Joins and aggregation
+    # ------------------------------------------------------------------ #
+    def join(
+        self,
+        left: EstimatedRelation,
+        right: EstimatedRelation,
+        edges: list[JoinEdge],
+    ) -> EstimatedRelation:
+        """Containment-based inner equi-join estimate.
+
+        Each key pair contributes ``1 / max(ndv_l, ndv_r)``; multiple
+        edges multiply under independence.
+        """
+        if not edges:
+            raise EstimationError("cross joins are not estimated")
+        rows = left.rows * right.rows
+        for edge in edges:
+            l_col, r_col = self._orient(edge, left, right)
+            ndv_l = left.column_ndv(l_col)
+            ndv_r = right.column_ndv(r_col)
+            rows /= max(ndv_l, ndv_r, 1.0)
+        rows = max(rows, 0.0)
+        ndv: dict[str, float] = {}
+        out_rows = max(rows, 1.0)
+        for name, value in {**left.ndv, **right.ndv}.items():
+            ndv[name] = min(value, out_rows)
+        return EstimatedRelation(
+            rows=rows,
+            ndv=ndv,
+            width_bytes=left.width_bytes + right.width_bytes,
+            tables=left.tables | right.tables,
+        )
+
+    @staticmethod
+    def _orient(
+        edge: JoinEdge, left: EstimatedRelation, right: EstimatedRelation
+    ) -> tuple[str, str]:
+        l_table, r_table = edge.tables()
+        if l_table in left.tables and r_table in right.tables:
+            return (edge.left.name, edge.right.name)
+        if r_table in left.tables and l_table in right.tables:
+            return (edge.right.name, edge.left.name)
+        raise EstimationError(
+            f"join edge {edge} does not connect {sorted(left.tables)} and "
+            f"{sorted(right.tables)}"
+        )
+
+    def group_count(
+        self, relation: EstimatedRelation, keys: tuple[str, ...]
+    ) -> float:
+        """Estimated number of groups for a GROUP BY."""
+        if not keys:
+            return 1.0
+        groups = 1.0
+        for key in keys:
+            groups *= relation.column_ndv(key)
+        return min(groups, max(relation.rows, 1.0))
+
+
+def _filtered_ndv(base_ndv: float, base_rows: int, selectivity: float) -> float:
+    """NDV surviving a filter (Yao's approximation, cheap closed form).
+
+    With ``r`` rows uniformly spread over ``d`` values, keeping fraction
+    ``s`` of rows keeps about ``d * (1 - (1 - s)^(r/d))`` distinct values.
+    """
+    if base_rows <= 0 or base_ndv <= 0:
+        return 1.0
+    rows_per_value = max(1.0, base_rows / base_ndv)
+    survived = base_ndv * (1.0 - (1.0 - selectivity) ** rows_per_value)
+    return max(1.0, min(survived, base_ndv))

@@ -1,0 +1,170 @@
+"""Join ordering: dynamic programming over the query's join graph.
+
+The DAG-planning stage uses left-deep DP by default (the paper notes
+bushy joins "are usually ignored in traditional optimizers ... to reduce
+the search space"); an exhaustive (all-shapes) DP is available for tests
+and for quantifying what the left-deep restriction gives up.  Cost metric
+is C_out — the sum of intermediate result cardinalities — the standard
+metric when join order quality is what matters.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import combinations
+
+from repro.errors import OptimizerError
+from repro.optimizer.cardinality import CardinalityEstimator, EstimatedRelation
+from repro.sql.binder import JoinEdge
+
+
+@dataclass(frozen=True)
+class Leaf:
+    """A base relation in the join tree."""
+
+    table: str
+
+    def tables(self) -> frozenset[str]:
+        return frozenset([self.table])
+
+    def describe(self) -> str:
+        return self.table
+
+
+@dataclass(frozen=True)
+class JoinTree:
+    """An inner node: join of two subtrees on ``edges``."""
+
+    left: "JoinTree | Leaf"
+    right: "JoinTree | Leaf"
+    edges: tuple[JoinEdge, ...]
+
+    def tables(self) -> frozenset[str]:
+        return self.left.tables() | self.right.tables()
+
+    def describe(self) -> str:
+        return f"({self.left.describe()} ⋈ {self.right.describe()})"
+
+
+def connecting_edges(
+    edges: list[JoinEdge], left: frozenset[str], right: frozenset[str]
+) -> tuple[JoinEdge, ...]:
+    """Edges with one endpoint in each side."""
+    found = []
+    for edge in edges:
+        a, b = edge.tables()
+        if (a in left and b in right) or (b in left and a in right):
+            found.append(edge)
+    return tuple(found)
+
+
+def order_joins(
+    base_relations: dict[str, EstimatedRelation],
+    edges: list[JoinEdge],
+    estimator: CardinalityEstimator,
+    *,
+    left_deep_only: bool = True,
+) -> tuple[JoinTree | Leaf, float]:
+    """Find the C_out-optimal join tree.
+
+    Returns ``(tree, c_out_cost)``.  ``left_deep_only`` restricts the DP
+    to left-deep shapes (default, matching the paper's DAG-planning
+    stage); with ``False`` the full bushy space is searched — exponential,
+    fine for the ≤8-relation queries in the workloads.
+    """
+    tables = sorted(base_relations)
+    if not tables:
+        raise OptimizerError("no relations to order")
+    if len(tables) == 1:
+        return Leaf(tables[0]), 0.0
+
+    _check_connected(tables, edges)
+
+    # DP state per table subset: (accumulated C_out, estimated relation, tree)
+    best: dict[frozenset[str], tuple[float, EstimatedRelation, JoinTree | Leaf]] = {}
+    for table in tables:
+        singleton = frozenset([table])
+        best[singleton] = (0.0, base_relations[table], Leaf(table))
+
+    full = frozenset(tables)
+    for size in range(2, len(tables) + 1):
+        for subset_tuple in combinations(tables, size):
+            subset = frozenset(subset_tuple)
+            candidate: tuple[float, EstimatedRelation, JoinTree | Leaf] | None = None
+            for split in _splits(subset, left_deep_only):
+                left_set, right_set = split
+                if left_set not in best or right_set not in best:
+                    continue
+                join_edges = connecting_edges(edges, left_set, right_set)
+                if not join_edges:
+                    continue
+                left_cost, left_rel, left_tree = best[left_set]
+                right_cost, right_rel, right_tree = best[right_set]
+                joined = estimator.join(left_rel, right_rel, list(join_edges))
+                cost = left_cost + right_cost + joined.rows
+                if candidate is None or cost < candidate[0]:
+                    candidate = (
+                        cost,
+                        joined,
+                        JoinTree(left=left_tree, right=right_tree, edges=join_edges),
+                    )
+            if candidate is not None:
+                best[subset] = candidate
+
+    if full not in best:
+        raise OptimizerError("join graph admits no connected join order")
+    cost, _, tree = best[full]
+    return tree, cost
+
+
+def _splits(subset: frozenset[str], left_deep_only: bool):
+    """Yield (left, right) partitions of ``subset``.
+
+    Left-deep mode peels exactly one relation into the right side; the
+    full mode enumerates all proper bipartitions (canonicalized so each
+    unordered pair appears once).
+    """
+    members = sorted(subset)
+    if left_deep_only:
+        for table in members:
+            right = frozenset([table])
+            left = subset - right
+            yield (left, right)
+        return
+    anchor = members[0]
+    rest = members[1:]
+    for r in range(0, len(rest) + 1):
+        for chosen in combinations(rest, r):
+            left = frozenset([anchor, *chosen])
+            right = subset - left
+            if right:
+                yield (left, right)
+
+
+def _check_connected(tables: list[str], edges: list[JoinEdge]) -> None:
+    remaining = set(tables)
+    frontier = {tables[0]}
+    remaining.discard(tables[0])
+    while frontier:
+        current = frontier.pop()
+        for edge in edges:
+            a, b = edge.tables()
+            neighbor = None
+            if a == current and b in remaining:
+                neighbor = b
+            elif b == current and a in remaining:
+                neighbor = a
+            if neighbor is not None:
+                remaining.discard(neighbor)
+                frontier.add(neighbor)
+    if remaining:
+        raise OptimizerError(
+            f"join graph is disconnected; unreachable tables: {sorted(remaining)}"
+        )
+
+
+def linearize(tree: JoinTree | Leaf) -> list[str]:
+    """Left-to-right base-table order of a join tree (for tests/reports)."""
+    if isinstance(tree, Leaf):
+        return [tree.table]
+    return linearize(tree.left) + linearize(tree.right)

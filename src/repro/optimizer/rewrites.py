@@ -1,0 +1,101 @@
+"""Logical expression rewrites: constant folding and simplification.
+
+Small, deterministic rewrites applied before planning.  Predicate
+*placement* (pushdown) already happens structurally in the binder, which
+assigns conjuncts to their tables; these rewrites clean up the
+expressions themselves.
+"""
+
+from __future__ import annotations
+
+from repro.plan.expressions import (
+    ARITHMETIC_OPS,
+    BinaryOp,
+    ColumnRef,
+    Expr,
+    FuncCall,
+    InList,
+    Literal,
+    UnaryOp,
+)
+
+
+def fold_constants(expr: Expr) -> Expr:
+    """Evaluate constant subtrees (``1 - 0.06`` -> ``0.94``)."""
+    if isinstance(expr, BinaryOp):
+        left = fold_constants(expr.left)
+        right = fold_constants(expr.right)
+        if (
+            expr.op in ARITHMETIC_OPS
+            and isinstance(left, Literal)
+            and isinstance(right, Literal)
+            and not isinstance(left.value, str)
+            and not isinstance(right.value, str)
+        ):
+            return Literal(_apply(expr.op, float(left.value), float(right.value)))
+        return BinaryOp(expr.op, left, right)
+    if isinstance(expr, UnaryOp):
+        operand = fold_constants(expr.operand)
+        if (
+            expr.op == "-"
+            and isinstance(operand, Literal)
+            and not isinstance(operand.value, str)
+        ):
+            return Literal(-operand.value)
+        return UnaryOp(expr.op, operand)
+    if isinstance(expr, FuncCall):
+        return FuncCall(expr.name, tuple(fold_constants(a) for a in expr.args))
+    if isinstance(expr, InList):
+        return InList(fold_constants(expr.operand), expr.values, expr.negated)
+    return expr
+
+
+def _apply(op: str, left: float, right: float) -> float:
+    if op == "+":
+        return left + right
+    if op == "-":
+        return left - right
+    if op == "*":
+        return left * right
+    if op == "/":
+        return left / right
+    raise AssertionError(f"not an arithmetic op: {op}")
+
+
+def simplify_predicate(expr: Expr | None) -> Expr | None:
+    """Drop trivially-true conjuncts; collapse trivially-false ones.
+
+    Recognizes the binder's canonical always-true (``col >= -1``) and
+    always-false (``col < -1``) markers produced for out-of-dictionary
+    string comparisons.
+    """
+    if expr is None:
+        return None
+    from repro.plan.expressions import conjuncts, make_and
+
+    kept: list[Expr] = []
+    for conjunct in conjuncts(expr):
+        verdict = _trivial_verdict(conjunct)
+        if verdict is True:
+            continue
+        if verdict is False:
+            return conjunct  # whole predicate is unsatisfiable; keep marker
+        kept.append(conjunct)
+    return make_and(kept)
+
+
+def _trivial_verdict(expr: Expr) -> bool | None:
+    """True/False when the conjunct is trivially decidable, else None."""
+    if not isinstance(expr, BinaryOp):
+        return None
+    if not (isinstance(expr.left, ColumnRef) and isinstance(expr.right, Literal)):
+        return None
+    value = expr.right.value
+    if isinstance(value, str):
+        return None
+    # Dictionary codes and our key domains are always >= 0.
+    if expr.op == ">=" and float(value) < 0:
+        return True
+    if expr.op == "<" and float(value) < 0:
+        return False
+    return None

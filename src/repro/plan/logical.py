@@ -1,0 +1,205 @@
+"""Logical plan operators.
+
+The DAG-planning stage (paper §3.2) works on these nodes: relational
+operators with no physical decisions (no distribution, no DOP).  Nodes are
+immutable; the optimizer builds new trees rather than mutating.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator
+
+from repro.errors import PlanError
+from repro.plan.expressions import AggCall, ColumnRef, Expr
+
+
+class LogicalNode:
+    """Base class for logical operators."""
+
+    def children(self) -> tuple["LogicalNode", ...]:
+        return ()
+
+    def output_columns(self) -> tuple[str, ...]:
+        """Names of columns this operator produces."""
+        raise NotImplementedError
+
+    def pretty(self, indent: int = 0) -> str:
+        pad = "  " * indent
+        lines = [pad + self.describe()]
+        for child in self.children():
+            lines.append(child.pretty(indent + 1))
+        return "\n".join(lines)
+
+    def describe(self) -> str:
+        return type(self).__name__
+
+
+def walk_logical(node: LogicalNode) -> Iterator[LogicalNode]:
+    yield node
+    for child in node.children():
+        yield from walk_logical(child)
+
+
+@dataclass(frozen=True)
+class LogicalScan(LogicalNode):
+    """Scan of a base table or materialized view.
+
+    ``predicate`` holds pushed-down filters evaluated during the scan;
+    ``columns`` is the projection actually read from storage.
+    """
+
+    table: str
+    columns: tuple[str, ...]
+    predicate: Expr | None = None
+    is_view: bool = False
+
+    def output_columns(self) -> tuple[str, ...]:
+        return self.columns
+
+    def describe(self) -> str:
+        pred = f" filter={self.predicate.sql()}" if self.predicate else ""
+        kind = "ViewScan" if self.is_view else "Scan"
+        return f"{kind}({self.table} cols={','.join(self.columns)}{pred})"
+
+
+@dataclass(frozen=True)
+class LogicalFilter(LogicalNode):
+    child: LogicalNode
+    predicate: Expr
+
+    def children(self) -> tuple[LogicalNode, ...]:
+        return (self.child,)
+
+    def output_columns(self) -> tuple[str, ...]:
+        return self.child.output_columns()
+
+    def describe(self) -> str:
+        return f"Filter({self.predicate.sql()})"
+
+
+@dataclass(frozen=True)
+class LogicalProject(LogicalNode):
+    """Compute named expressions; drops all other columns."""
+
+    child: LogicalNode
+    exprs: tuple[Expr, ...]
+    names: tuple[str, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.exprs) != len(self.names):
+            raise PlanError("project exprs/names length mismatch")
+
+    def children(self) -> tuple[LogicalNode, ...]:
+        return (self.child,)
+
+    def output_columns(self) -> tuple[str, ...]:
+        return self.names
+
+    def describe(self) -> str:
+        items = ", ".join(
+            f"{e.sql()} AS {n}" for e, n in zip(self.exprs, self.names)
+        )
+        return f"Project({items})"
+
+
+@dataclass(frozen=True)
+class LogicalJoin(LogicalNode):
+    """Inner equi-join on one or more key pairs.
+
+    ``left_keys[i]`` joins with ``right_keys[i]``.  Non-equi residual
+    predicates are applied by ``residual`` after the match.
+    """
+
+    left: LogicalNode
+    right: LogicalNode
+    left_keys: tuple[ColumnRef, ...]
+    right_keys: tuple[ColumnRef, ...]
+    residual: Expr | None = None
+
+    def __post_init__(self) -> None:
+        if len(self.left_keys) != len(self.right_keys):
+            raise PlanError("join key arity mismatch")
+        if not self.left_keys:
+            raise PlanError("cross joins are not supported; provide equi keys")
+
+    def children(self) -> tuple[LogicalNode, ...]:
+        return (self.left, self.right)
+
+    def output_columns(self) -> tuple[str, ...]:
+        return self.left.output_columns() + self.right.output_columns()
+
+    def describe(self) -> str:
+        keys = ", ".join(
+            f"{l.sql()}={r.sql()}" for l, r in zip(self.left_keys, self.right_keys)
+        )
+        return f"Join({keys})"
+
+
+@dataclass(frozen=True)
+class LogicalAggregate(LogicalNode):
+    """Hash aggregation with optional grouping."""
+
+    child: LogicalNode
+    group_keys: tuple[ColumnRef, ...]
+    aggregates: tuple[AggCall, ...]
+    agg_names: tuple[str, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.aggregates) != len(self.agg_names):
+            raise PlanError("aggregate exprs/names length mismatch")
+
+    def children(self) -> tuple[LogicalNode, ...]:
+        return (self.child,)
+
+    def output_columns(self) -> tuple[str, ...]:
+        return tuple(k.name for k in self.group_keys) + self.agg_names
+
+    def describe(self) -> str:
+        keys = ",".join(k.name for k in self.group_keys) or "<global>"
+        aggs = ", ".join(
+            f"{a.sql()} AS {n}" for a, n in zip(self.aggregates, self.agg_names)
+        )
+        return f"Aggregate(by={keys}; {aggs})"
+
+
+@dataclass(frozen=True)
+class LogicalSort(LogicalNode):
+    child: LogicalNode
+    keys: tuple[str, ...]
+    ascending: tuple[bool, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.keys) != len(self.ascending):
+            raise PlanError("sort keys/direction length mismatch")
+
+    def children(self) -> tuple[LogicalNode, ...]:
+        return (self.child,)
+
+    def output_columns(self) -> tuple[str, ...]:
+        return self.child.output_columns()
+
+    def describe(self) -> str:
+        keys = ", ".join(
+            f"{k} {'ASC' if a else 'DESC'}" for k, a in zip(self.keys, self.ascending)
+        )
+        return f"Sort({keys})"
+
+
+@dataclass(frozen=True)
+class LogicalLimit(LogicalNode):
+    child: LogicalNode
+    limit: int
+
+    def __post_init__(self) -> None:
+        if self.limit < 0:
+            raise PlanError(f"negative limit {self.limit}")
+
+    def children(self) -> tuple[LogicalNode, ...]:
+        return (self.child,)
+
+    def output_columns(self) -> tuple[str, ...]:
+        return self.child.output_columns()
+
+    def describe(self) -> str:
+        return f"Limit({self.limit})"

@@ -1,0 +1,29 @@
+"""Discrete-event distributed execution simulator.
+
+Plays the role of the paper's real cluster (their testbed): executes a
+pipeline DAG over simulated elastic nodes with *hidden* ground-truth
+behavior the analytic estimator does not know — partition skew,
+stochastic rate noise, miscalibrated exchange constants, warm-pool
+latencies, lease-minimum billing — plus true cardinalities instead of
+optimizer estimates.  The DOP monitor (§3.3) runs inside it via scaling
+policies and corrects deviations at run time.
+"""
+
+from repro.sim.skew import zipf_shares, skew_multiplier
+from repro.sim.distsim import (
+    DistributedSimulator,
+    PipelineRun,
+    SimConfig,
+    SimResult,
+    measure_exchange,
+)
+
+__all__ = [
+    "zipf_shares",
+    "skew_multiplier",
+    "DistributedSimulator",
+    "SimConfig",
+    "SimResult",
+    "PipelineRun",
+    "measure_exchange",
+]

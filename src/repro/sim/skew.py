@@ -1,0 +1,44 @@
+"""Partition skew model.
+
+Hash-partitioned operators suffer stragglers when key frequencies are
+skewed: the slowest node receives the largest partition share and gates
+the operator.  We model bucket shares with a Zipf-like distribution over
+the DOP and derive the straggler multiplier — 1.0 at DOP 1, growing with
+both DOP and the skew exponent.  The analytic estimator assumes uniform
+shares; this gap is one of the run-time deviations the DOP monitor
+absorbs (§3.3).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ReproError
+
+
+def zipf_shares(dop: int, s: float, rng: np.random.Generator | None = None) -> np.ndarray:
+    """Partition shares across ``dop`` buckets under Zipf exponent ``s``.
+
+    ``s = 0`` yields uniform shares; larger ``s`` concentrates mass.  When
+    an ``rng`` is given, ranks are randomly permuted (which bucket is the
+    heavy one varies) and shares get a small multiplicative jitter.
+    """
+    if dop < 1:
+        raise ReproError(f"dop must be >= 1, got {dop}")
+    ranks = np.arange(1, dop + 1, dtype=np.float64)
+    weights = ranks ** (-s)
+    if rng is not None:
+        weights = weights * rng.uniform(0.9, 1.1, size=dop)
+        rng.shuffle(weights)
+    return weights / weights.sum()
+
+
+def skew_multiplier(dop: int, s: float, rng: np.random.Generator | None = None) -> float:
+    """Straggler slowdown: max share divided by the uniform share.
+
+    A perfectly uniform partitioning gives 1.0; with skew the slowest
+    node holds ``max_share`` of the work, so the operator takes
+    ``max_share * dop`` times the uniform per-node time.
+    """
+    shares = zipf_shares(dop, s, rng)
+    return float(shares.max() * dop)

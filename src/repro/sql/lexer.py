@@ -1,0 +1,127 @@
+"""SQL lexer: text -> token stream.
+
+Hand-rolled single-pass scanner.  Keywords are case-insensitive;
+identifiers are lower-cased at lexing time (the workload schemas use
+lower-case names throughout).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.errors import ParseError
+
+
+class TokenType(enum.Enum):
+    IDENT = "ident"
+    NUMBER = "number"
+    STRING = "string"
+    KEYWORD = "keyword"
+    SYMBOL = "symbol"
+    EOF = "eof"
+
+
+KEYWORDS = {
+    "select",
+    "distinct",
+    "from",
+    "where",
+    "group",
+    "by",
+    "having",
+    "order",
+    "limit",
+    "join",
+    "inner",
+    "on",
+    "and",
+    "or",
+    "not",
+    "in",
+    "between",
+    "as",
+    "asc",
+    "desc",
+    "date",
+}
+
+#: Multi-character symbols first so the scanner is greedy.
+_SYMBOLS = ("<>", "!=", "<=", ">=", "<", ">", "=", "(", ")", ",", ".", "+", "-", "*", "/", ";")
+
+
+@dataclass(frozen=True)
+class Token:
+    type: TokenType
+    text: str
+    position: int
+
+    def is_keyword(self, word: str) -> bool:
+        return self.type is TokenType.KEYWORD and self.text == word
+
+    def is_symbol(self, symbol: str) -> bool:
+        return self.type is TokenType.SYMBOL and self.text == symbol
+
+
+def tokenize(sql: str) -> list[Token]:
+    """Scan ``sql`` into tokens, ending with an EOF token."""
+    tokens: list[Token] = []
+    i = 0
+    length = len(sql)
+    while i < length:
+        ch = sql[i]
+        if ch.isspace():
+            i += 1
+            continue
+        if ch == "-" and sql.startswith("--", i):
+            newline = sql.find("\n", i)
+            i = length if newline < 0 else newline + 1
+            continue
+        if ch.isalpha() or ch == "_":
+            start = i
+            while i < length and (sql[i].isalnum() or sql[i] == "_"):
+                i += 1
+            word = sql[start:i].lower()
+            kind = TokenType.KEYWORD if word in KEYWORDS else TokenType.IDENT
+            tokens.append(Token(kind, word, start))
+            continue
+        if ch.isdigit() or (ch == "." and i + 1 < length and sql[i + 1].isdigit()):
+            start = i
+            seen_dot = False
+            while i < length and (sql[i].isdigit() or (sql[i] == "." and not seen_dot)):
+                if sql[i] == ".":
+                    # A dot not followed by a digit is a qualifier, not a
+                    # decimal point (e.g. ``t1.c2``).
+                    if i + 1 >= length or not sql[i + 1].isdigit():
+                        break
+                    seen_dot = True
+                i += 1
+            tokens.append(Token(TokenType.NUMBER, sql[start:i], start))
+            continue
+        if ch == "'":
+            start = i
+            i += 1
+            chunks: list[str] = []
+            while True:
+                if i >= length:
+                    raise ParseError("unterminated string literal", start)
+                if sql[i] == "'":
+                    if i + 1 < length and sql[i + 1] == "'":
+                        chunks.append("'")
+                        i += 2
+                        continue
+                    i += 1
+                    break
+                chunks.append(sql[i])
+                i += 1
+            tokens.append(Token(TokenType.STRING, "".join(chunks), start))
+            continue
+        for symbol in _SYMBOLS:
+            if sql.startswith(symbol, i):
+                tokens.append(Token(TokenType.SYMBOL, symbol, i))
+                i += len(symbol)
+                break
+        else:
+            raise ParseError(f"unexpected character {ch!r}", i)
+    tokens.append(Token(TokenType.EOF, "", length))
+    return tokens

@@ -1,0 +1,77 @@
+"""Weighted join graphs (paper §4, footnote 3).
+
+"A graph where the vertices are table attributes and the weights on the
+edges indicate how often the attributes are joined."  The auto-tuning
+advisor mines this graph for materialized-view candidates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import networkx as nx
+
+from repro.statsvc.logs import QueryRecord
+
+
+@dataclass(frozen=True)
+class JoinEdgeStat:
+    """One attribute-pair edge with its observed frequency."""
+
+    left: str  # "table.column"
+    right: str
+    count: int
+    total_dollars: float
+
+
+class JoinGraph:
+    """Attribute-level weighted join graph over a log window."""
+
+    def __init__(self) -> None:
+        self.graph = nx.Graph()
+
+    def add_record(self, record: QueryRecord, weight: int = 1) -> None:
+        for left, right in record.join_edges:
+            a, b = sorted((left, right))
+            if self.graph.has_edge(a, b):
+                self.graph[a][b]["count"] += weight
+                self.graph[a][b]["dollars"] += record.dollars * weight
+            else:
+                self.graph.add_edge(a, b, count=weight, dollars=record.dollars * weight)
+
+    @classmethod
+    def from_records(
+        cls, records: list[QueryRecord], weight: int = 1
+    ) -> "JoinGraph":
+        graph = cls()
+        for record in records:
+            graph.add_record(record, weight)
+        return graph
+
+    # ------------------------------------------------------------------ #
+    # Queries over the graph
+    # ------------------------------------------------------------------ #
+    def edges(self) -> list[JoinEdgeStat]:
+        return [
+            JoinEdgeStat(left=a, right=b, count=data["count"], total_dollars=data["dollars"])
+            for a, b, data in self.graph.edges(data=True)
+        ]
+
+    def hottest_edges(self, top_k: int = 10) -> list[JoinEdgeStat]:
+        return sorted(self.edges(), key=lambda e: e.count, reverse=True)[:top_k]
+
+    def edge_count(self, left: str, right: str) -> int:
+        a, b = sorted((left, right))
+        if self.graph.has_edge(a, b):
+            return int(self.graph[a][b]["count"])
+        return 0
+
+    def tables(self) -> set[str]:
+        return {attr.split(".")[0] for attr in self.graph.nodes}
+
+    def connected_table_groups(self) -> list[set[str]]:
+        """Table sets connected by joins (candidate MV scopes)."""
+        groups: list[set[str]] = []
+        for component in nx.connected_components(self.graph):
+            groups.append({attr.split(".")[0] for attr in component})
+        return groups

@@ -1,0 +1,87 @@
+"""Query execution logs: the Statistics Service's ground truth.
+
+"For each database instance, the Statistics Service collects the query
+execution logs from all the tenants to form the 'ground truth' for
+understanding workload behaviors."
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Iterator
+
+from repro.errors import ReproError
+
+
+@dataclass(frozen=True)
+class QueryRecord:
+    """One executed query's log entry."""
+
+    query_id: int
+    timestamp: float
+    sql: str
+    template: str  # template family name, or "adhoc"
+    tables: tuple[str, ...]
+    columns: tuple[str, ...]  # qualified "table.column" names accessed
+    join_edges: tuple[tuple[str, str], ...]  # ("t.col", "t.col") pairs
+    group_keys: tuple[str, ...] = ()
+    filter_columns: tuple[str, ...] = ()
+    aggregate_sqls: tuple[str, ...] = ()
+    latency_s: float = 0.0
+    machine_seconds: float = 0.0
+    dollars: float = 0.0
+    bytes_scanned: float = 0.0
+    sla_seconds: float | None = None
+
+    @property
+    def sla_met(self) -> bool | None:
+        if self.sla_seconds is None:
+            return None
+        return self.latency_s <= self.sla_seconds
+
+
+class QueryLogStore:
+    """Append-only in-memory log with time-window queries."""
+
+    def __init__(self) -> None:
+        self._records: list[QueryRecord] = []
+        self._ids = itertools.count(1)
+
+    def next_query_id(self) -> int:
+        return next(self._ids)
+
+    def append(self, record: QueryRecord) -> None:
+        if self._records and record.timestamp < self._records[-1].timestamp:
+            raise ReproError(
+                "log records must be appended in timestamp order "
+                f"({record.timestamp} < {self._records[-1].timestamp})"
+            )
+        self._records.append(record)
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __iter__(self) -> Iterator[QueryRecord]:
+        return iter(self._records)
+
+    def window(self, start: float, end: float) -> list[QueryRecord]:
+        """Records with ``start <= timestamp < end``."""
+        return [r for r in self._records if start <= r.timestamp < end]
+
+    def by_template(self) -> dict[str, list[QueryRecord]]:
+        grouped: dict[str, list[QueryRecord]] = {}
+        for record in self._records:
+            grouped.setdefault(record.template, []).append(record)
+        return grouped
+
+    @property
+    def total_dollars(self) -> float:
+        return sum(r.dollars for r in self._records)
+
+    @property
+    def horizon(self) -> tuple[float, float]:
+        """(first, last) record timestamps; (0, 0) when empty."""
+        if not self._records:
+            return (0.0, 0.0)
+        return (self._records[0].timestamp, self._records[-1].timestamp)

@@ -1,0 +1,27 @@
+"""Cost-oriented auto-tuning (paper §4).
+
+Uses the dollar as the common metric: a tuning action is worthwhile when
+the computation it saves (``x`` $/hour, from workload forecasts and the
+cost estimator) exceeds what it costs to store and maintain (``y``
+$/hour), i.e. ``x − y > 0`` — plus a one-time application cost that sets
+the break-even horizon.  The What-If Service evaluates proposals against
+a hypothetical catalog overlay; accepted jobs run on background compute.
+"""
+
+from repro.tuning.mv import MVCandidate, mv_candidate_from_query, try_rewrite
+from repro.tuning.clustering import ReclusterCandidate, recluster_one_time_cost
+from repro.tuning.whatif import TuningReport, WhatIfService
+from repro.tuning.advisor import AutoTuningAdvisor
+from repro.tuning.background import BackgroundComputeService
+
+__all__ = [
+    "MVCandidate",
+    "mv_candidate_from_query",
+    "try_rewrite",
+    "ReclusterCandidate",
+    "recluster_one_time_cost",
+    "TuningReport",
+    "WhatIfService",
+    "AutoTuningAdvisor",
+    "BackgroundComputeService",
+]

@@ -1,0 +1,121 @@
+"""Background compute: applies accepted tuning actions (paper Fig. 3).
+
+"Once the What-if Service accepts a tuning proposal ... the job is sent
+to the background compute for execution."  Separate compute keeps tuning
+work from contending with foreground queries (the §4 argument for why
+auto-tuning is more solvable in the cloud); its spend is metered in a
+ledger so experiments can report foreground vs background dollars.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.catalog.catalog import Catalog
+from repro.engine.database import Database
+from repro.engine.local_executor import LocalExecutor
+from repro.errors import TuningError
+from repro.optimizer.dag_planner import DagPlanner
+from repro.sql.binder import Binder
+from repro.tuning.clustering import ReclusterCandidate, improved_depth
+from repro.tuning.mv import MVCandidate, mv_build_sql, mv_schema
+from repro.tuning.whatif import TuningReport
+
+
+@dataclass
+class LedgerEntry:
+    """One executed background job and what it cost."""
+
+    action_name: str
+    kind: str
+    dollars: float
+    applied_physically: bool
+
+
+@dataclass
+class BackgroundComputeService:
+    """Executes accepted tuning actions against the database/catalog."""
+
+    database: Database | None = None
+    catalog: Catalog | None = None
+    ledger: list[LedgerEntry] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if self.database is None and self.catalog is None:
+            raise TuningError("background compute needs a database or catalog")
+        if self.catalog is None and self.database is not None:
+            self.catalog = self.database.catalog
+
+    @property
+    def total_spend(self) -> float:
+        return sum(e.dollars for e in self.ledger)
+
+    # ------------------------------------------------------------------ #
+    def apply_mv(self, candidate: MVCandidate, report: TuningReport) -> None:
+        """Materialize an accepted MV (physically when data is present)."""
+        assert self.catalog is not None
+        physical = False
+        if self.database is not None and all(
+            t in self.database.table_names for t in candidate.base_tables
+        ):
+            self._materialize_mv(candidate)
+            physical = True
+        else:
+            from repro.tuning.mv import register_hypothetical_mv
+
+            register_hypothetical_mv(self.catalog, candidate, self.catalog)
+        self.ledger.append(
+            LedgerEntry(
+                action_name=candidate.name,
+                kind="materialized-view",
+                dollars=report.one_time_dollars,
+                applied_physically=physical,
+            )
+        )
+
+    def _materialize_mv(self, candidate: MVCandidate) -> None:
+        assert self.database is not None
+        binder = Binder(self.database.catalog)
+        build_query = binder.bind_sql(mv_build_sql(candidate))
+        plan = DagPlanner(self.database.catalog).plan(build_query)
+        result = LocalExecutor(self.database).execute(plan)
+        schema = mv_schema(candidate, self.database.catalog)
+        columns = {
+            name: result.batch.column(name) for name in schema.column_names
+        }
+        dictionaries = {}
+        for name in candidate.group_by:
+            for table in candidate.base_tables:
+                source = self.database.catalog.table(table).dictionaries.get(name)
+                if source is not None:
+                    dictionaries[name] = source
+        self.database.create_table(schema, columns, dictionaries=dictionaries)
+        self.database.catalog.register_view(candidate.to_view_def(mv_build_sql(candidate)))
+
+    # ------------------------------------------------------------------ #
+    def apply_recluster(
+        self, candidate: ReclusterCandidate, report: TuningReport
+    ) -> None:
+        """Physically re-sort the table (or update the overlay stats)."""
+        assert self.catalog is not None
+        physical = False
+        if self.database is not None and candidate.table in self.database.table_names:
+            stored = self.database.stored_table(candidate.table)
+            self.database.replace_table_storage(
+                candidate.table, stored.recluster(candidate.key)
+            )
+            physical = True
+        else:
+            self.catalog.set_clustering(
+                candidate.table,
+                candidate.key,
+                improved_depth(self.catalog, candidate.table),
+            )
+        self.ledger.append(
+            LedgerEntry(
+                action_name=candidate.name,
+                kind="recluster",
+                dollars=report.one_time_dollars,
+                applied_physically=physical,
+            )
+        )

@@ -1,0 +1,104 @@
+"""Pareto-frontier utilities for the cost/performance trade-off (paper Fig. 2).
+
+Convention: both coordinates are *costs to minimize* — ``latency`` (seconds)
+and ``dollars``.  A point dominates another when it is no worse on both axes
+and strictly better on at least one.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Sequence
+
+
+@dataclass(frozen=True)
+class ParetoPoint:
+    """A single configuration's outcome in (latency, dollars) space.
+
+    ``payload`` carries the configuration that produced the point (a plan,
+    a cluster size, a policy name) so frontier consumers can act on it.
+    """
+
+    latency: float
+    dollars: float
+    payload: Any = field(default=None, compare=False)
+
+
+def dominates(a: ParetoPoint, b: ParetoPoint, *, tol: float = 0.0) -> bool:
+    """Return ``True`` when ``a`` Pareto-dominates ``b``.
+
+    ``tol`` treats improvements smaller than the tolerance as ties, which
+    avoids declaring dominance on simulation noise.
+    """
+    no_worse = a.latency <= b.latency + tol and a.dollars <= b.dollars + tol
+    strictly_better = a.latency < b.latency - tol or a.dollars < b.dollars - tol
+    return no_worse and strictly_better
+
+
+def pareto_frontier(
+    points: Iterable[ParetoPoint], *, tol: float = 0.0
+) -> list[ParetoPoint]:
+    """Return the non-dominated subset sorted by ascending latency.
+
+    Runs in O(n log n): sort by (latency, dollars) and keep points whose
+    dollar cost strictly improves on the best seen so far.  Duplicate
+    outcomes are collapsed to a single representative.
+    """
+    ordered = sorted(points, key=lambda p: (p.latency, p.dollars))
+    frontier: list[ParetoPoint] = []
+    best_dollars = float("inf")
+    for point in ordered:
+        if point.dollars < best_dollars - tol:
+            if frontier and frontier[-1].latency == point.latency:
+                # Same latency, cheaper: replace rather than append.
+                frontier[-1] = point
+            else:
+                frontier.append(point)
+            best_dollars = point.dollars
+    return frontier
+
+
+def hypervolume(
+    frontier: Sequence[ParetoPoint], ref_latency: float, ref_dollars: float
+) -> float:
+    """Dominated hypervolume w.r.t. a reference (worst-case) corner.
+
+    A standard scalar quality measure for a 2-D frontier: larger is better.
+    Points beyond the reference corner contribute nothing.
+    """
+    ordered = pareto_frontier(frontier)
+    volume = 0.0
+    prev_latency = ref_latency
+    # Walk from the highest-latency (cheapest) end toward low latency.
+    for point in reversed(ordered):
+        if point.latency >= ref_latency or point.dollars >= ref_dollars:
+            continue
+        width = prev_latency - point.latency
+        height = ref_dollars - point.dollars
+        if width > 0 and height > 0:
+            volume += width * height
+            prev_latency = point.latency
+    return volume
+
+
+def distance_to_frontier(
+    point: ParetoPoint,
+    frontier: Sequence[ParetoPoint],
+    *,
+    latency_scale: float = 1.0,
+    dollar_scale: float = 1.0,
+) -> float:
+    """Normalized Euclidean distance from ``point`` to the closest frontier
+    point; 0.0 means the point sits on the frontier.
+
+    Scales let callers normalize axes with incomparable units (seconds vs
+    dollars) before measuring, e.g. by the workload's worst-case values.
+    """
+    if not frontier:
+        raise ValueError("frontier must not be empty")
+    best = float("inf")
+    for anchor in frontier:
+        d_lat = (point.latency - anchor.latency) / latency_scale
+        d_usd = (point.dollars - anchor.dollars) / dollar_scale
+        best = min(best, (d_lat * d_lat + d_usd * d_usd) ** 0.5)
+    return best

@@ -1,0 +1,59 @@
+"""Plain-text table rendering for benchmark reports.
+
+The benchmark harness prints the same rows/series the paper's experiments
+report; ``TextTable`` keeps that output aligned and diff-friendly without
+pulling in a formatting dependency.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+
+class TextTable:
+    """Accumulate rows and render an aligned ASCII table.
+
+    >>> t = TextTable(["dop", "latency", "cost"])
+    >>> t.add_row([4, "1.25 s", "$0.02"])
+    >>> print(t.render())  # doctest: +NORMALIZE_WHITESPACE
+    dop | latency | cost
+    ----+---------+------
+    4   | 1.25 s  | $0.02
+    """
+
+    def __init__(self, headers: Sequence[str], *, title: str | None = None) -> None:
+        self.title = title
+        self.headers = [str(h) for h in headers]
+        self.rows: list[list[str]] = []
+
+    def add_row(self, cells: Sequence[Any]) -> None:
+        row = [self._fmt(cell) for cell in cells]
+        if len(row) != len(self.headers):
+            raise ValueError(
+                f"row has {len(row)} cells, table has {len(self.headers)} columns"
+            )
+        self.rows.append(row)
+
+    @staticmethod
+    def _fmt(cell: Any) -> str:
+        if isinstance(cell, float):
+            return f"{cell:.4g}"
+        return str(cell)
+
+    def render(self) -> str:
+        widths = [len(h) for h in self.headers]
+        for row in self.rows:
+            for i, cell in enumerate(row):
+                widths[i] = max(widths[i], len(cell))
+        lines: list[str] = []
+        if self.title:
+            lines.append(self.title)
+        header = " | ".join(h.ljust(w) for h, w in zip(self.headers, widths))
+        lines.append(header)
+        lines.append("-+-".join("-" * w for w in widths))
+        for row in self.rows:
+            lines.append(" | ".join(c.ljust(w) for c, w in zip(row, widths)))
+        return "\n".join(lines)
+
+    def __str__(self) -> str:
+        return self.render()

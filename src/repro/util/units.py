@@ -1,0 +1,51 @@
+"""Byte/time/money unit constants and human-readable formatting.
+
+The simulator and cost models work in SI base units throughout: bytes,
+seconds, and dollars.  These helpers exist so that module code never
+hard-codes magic ``1 << 30`` style constants and so that reports printed by
+the benchmark harness are readable.
+"""
+
+from __future__ import annotations
+
+KB: int = 1024
+MB: int = 1024 * KB
+GB: int = 1024 * MB
+TB: int = 1024 * GB
+
+SECONDS_PER_HOUR: float = 3600.0
+HOURS_PER_MONTH: float = 730.0  # convention used by cloud storage pricing
+
+
+def fmt_bytes(num_bytes: float) -> str:
+    """Render a byte count with a binary-unit suffix, e.g. ``1.50 GB``."""
+    value = float(num_bytes)
+    for suffix, unit in (("TB", TB), ("GB", GB), ("MB", MB), ("KB", KB)):
+        if abs(value) >= unit:
+            return f"{value / unit:.2f} {suffix}"
+    return f"{value:.0f} B"
+
+
+def fmt_duration(seconds: float) -> str:
+    """Render a duration, scaling between ms, s, min, and h."""
+    if seconds < 0:
+        return f"-{fmt_duration(-seconds)}"
+    if seconds < 1.0:
+        return f"{seconds * 1000:.1f} ms"
+    if seconds < 120.0:
+        return f"{seconds:.2f} s"
+    if seconds < 2 * SECONDS_PER_HOUR:
+        return f"{seconds / 60.0:.1f} min"
+    return f"{seconds / SECONDS_PER_HOUR:.2f} h"
+
+
+def fmt_dollars(dollars: float) -> str:
+    """Render a dollar amount; sub-cent values keep 4 significant decimals."""
+    if dollars != 0 and abs(dollars) < 0.01:
+        return f"${dollars:.4f}"
+    return f"${dollars:,.2f}"
+
+
+def fmt_rate(bytes_per_second: float) -> str:
+    """Render a data rate, e.g. ``250.0 MB/s``."""
+    return f"{fmt_bytes(bytes_per_second)}/s"

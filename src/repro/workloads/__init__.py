@@ -1,0 +1,27 @@
+"""Workload substrate: TPC-H-like schema/data, query templates, arrivals.
+
+Substitutes for the customer workloads a production warehouse sees: a
+deterministic synthetic decision-support database plus parameterized
+recurring query templates and an ad-hoc query generator, with arrival
+processes for workload-forecasting experiments.
+"""
+
+from repro.workloads.tpch_schema import TPCH_SCHEMAS, TPCH_DICTIONARIES
+from repro.workloads.tpch_data import generate_tpch, load_tpch
+from repro.workloads.tpch_queries import QUERY_TEMPLATES, instantiate, template_names
+from repro.workloads.adhoc import AdhocQueryGenerator
+from repro.workloads.arrivals import ArrivalProcess, PeriodicArrivals, PoissonArrivals
+
+__all__ = [
+    "TPCH_SCHEMAS",
+    "TPCH_DICTIONARIES",
+    "generate_tpch",
+    "load_tpch",
+    "QUERY_TEMPLATES",
+    "instantiate",
+    "template_names",
+    "AdhocQueryGenerator",
+    "ArrivalProcess",
+    "PoissonArrivals",
+    "PeriodicArrivals",
+]

@@ -1,0 +1,138 @@
+"""Ad-hoc query generator.
+
+Data scientists issue one-off queries that no forecaster has seen before
+(paper §3.1 argues cost estimation must not depend on recurring-workload
+training).  This generator emits random-but-valid star-join queries over
+the TPC-H-like schema: a random fact table, a random subset of its
+dimension joins, random range predicates, and a random aggregate.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.util.rng import derive_rng
+from repro.workloads.tpch_queries import _date  # shared date formatting
+
+#: fact table -> joinable (dimension, fact_key, dim_key) triples.
+_JOINABLE: dict[str, list[tuple[str, str, str]]] = {
+    "lineitem": [
+        ("orders", "l_orderkey", "o_orderkey"),
+        ("part", "l_partkey", "p_partkey"),
+        ("supplier", "l_suppkey", "s_suppkey"),
+    ],
+    "orders": [
+        ("customer", "o_custkey", "c_custkey"),
+    ],
+    "partsupp": [
+        ("part", "ps_partkey", "p_partkey"),
+        ("supplier", "ps_suppkey", "s_suppkey"),
+    ],
+}
+
+#: numeric columns usable in range predicates, with (lo, hi) domains.
+_RANGE_COLUMNS: dict[str, list[tuple[str, float, float]]] = {
+    "lineitem": [
+        ("l_quantity", 1, 50),
+        ("l_discount", 0.0, 0.1),
+        ("l_extendedprice", 900.0, 105_000.0),
+    ],
+    "orders": [
+        ("o_totalprice", 850.0, 450_000.0),
+    ],
+    "partsupp": [
+        ("ps_availqty", 1, 10_000),
+        ("ps_supplycost", 1.0, 1000.0),
+    ],
+    "part": [
+        ("p_size", 1, 50),
+        ("p_retailprice", 900.0, 2100.0),
+    ],
+    "customer": [
+        ("c_acctbal", -999.0, 9999.0),
+    ],
+    "supplier": [
+        ("s_acctbal", -999.0, 9999.0),
+    ],
+}
+
+#: aggregate targets per fact table.
+_AGG_COLUMNS: dict[str, list[str]] = {
+    "lineitem": ["l_extendedprice", "l_quantity"],
+    "orders": ["o_totalprice"],
+    "partsupp": ["ps_supplycost"],
+}
+
+#: group-by candidates (low-cardinality columns) per table.
+_GROUP_COLUMNS: dict[str, list[str]] = {
+    "lineitem": ["l_returnflag", "l_shipmode"],
+    "orders": ["o_orderpriority", "o_orderstatus"],
+    "customer": ["c_mktsegment"],
+    "part": ["p_brand"],
+    "supplier": ["s_nationkey"],
+    "partsupp": [],
+}
+
+
+class AdhocQueryGenerator:
+    """Generates random analytical queries; deterministic per seed."""
+
+    def __init__(self, seed: int = 7) -> None:
+        self._seed = seed
+        self._counter = 0
+
+    def next_query(self) -> str:
+        rng = derive_rng(self._seed, "adhoc", str(self._counter))
+        self._counter += 1
+        return self._generate(rng)
+
+    def batch(self, count: int) -> list[str]:
+        return [self.next_query() for _ in range(count)]
+
+    def _generate(self, rng: np.random.Generator) -> str:
+        fact = str(rng.choice(list(_JOINABLE)))
+        joins = _JOINABLE[fact]
+        num_joins = int(rng.integers(0, len(joins) + 1))
+        picked = [joins[i] for i in rng.choice(len(joins), size=num_joins, replace=False)]
+
+        tables = [fact] + [dim for dim, _, _ in picked]
+        join_predicates = [
+            f"{fact_key} = {dim_key}" for _, fact_key, dim_key in picked
+        ]
+
+        predicates = list(join_predicates)
+        for table in tables:
+            for column, lo, hi in _RANGE_COLUMNS.get(table, []):
+                if rng.random() < 0.4:
+                    width = (hi - lo) * float(rng.uniform(0.05, 0.5))
+                    start = float(rng.uniform(lo, hi - width))
+                    predicates.append(
+                        f"{column} BETWEEN {start:.2f} AND {start + width:.2f}"
+                    )
+        if fact == "lineitem" and rng.random() < 0.5:
+            start = int(rng.integers(-700, 600))
+            predicates.append(f"l_shipdate >= DATE '{_date(start)}'")
+            predicates.append(f"l_shipdate < DATE '{_date(start + 180)}'")
+
+        agg_column = str(rng.choice(_AGG_COLUMNS[fact]))
+        agg_func = str(rng.choice(["sum", "avg", "min", "max"]))
+
+        group_candidates = [
+            column for table in tables for column in _GROUP_COLUMNS.get(table, [])
+        ]
+        group_by = ""
+        select_prefix = ""
+        if group_candidates and rng.random() < 0.7:
+            group_column = str(rng.choice(group_candidates))
+            select_prefix = f"{group_column}, "
+            group_by = f" GROUP BY {group_column}"
+
+        sql = (
+            f"SELECT {select_prefix}{agg_func}({agg_column}) AS metric, "
+            f"count(*) AS rows_in "
+            f"FROM {', '.join(tables)}"
+        )
+        if predicates:
+            sql += " WHERE " + " AND ".join(predicates)
+        sql += group_by
+        return sql

@@ -1,0 +1,91 @@
+"""Query arrival processes for workload simulation and forecasting.
+
+The Statistics Service's forecaster (§4) is evaluated against synthetic
+workload streams: Poisson arrivals model ad-hoc traffic, periodic
+arrivals model scheduled reports (daily dashboards, hourly rollups).
+All times are in seconds from the stream's origin.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+import numpy as np
+
+from repro.errors import WorkloadError
+from repro.util.rng import derive_rng
+
+
+@dataclass(frozen=True)
+class Arrival:
+    """One query submission event."""
+
+    time: float
+    template: str
+
+
+class ArrivalProcess:
+    """Base class: yields arrivals within [0, horizon)."""
+
+    def arrivals(self, horizon: float) -> Iterator[Arrival]:
+        raise NotImplementedError
+
+
+class PoissonArrivals(ArrivalProcess):
+    """Memoryless arrivals at ``rate_per_hour`` for one template."""
+
+    def __init__(self, template: str, rate_per_hour: float, seed: int = 0) -> None:
+        if rate_per_hour <= 0:
+            raise WorkloadError(f"rate must be positive, got {rate_per_hour}")
+        self.template = template
+        self.rate_per_hour = rate_per_hour
+        self._seed = seed
+
+    def arrivals(self, horizon: float) -> Iterator[Arrival]:
+        rng = derive_rng(self._seed, "poisson", self.template)
+        mean_gap = 3600.0 / self.rate_per_hour
+        now = float(rng.exponential(mean_gap))
+        while now < horizon:
+            yield Arrival(time=now, template=self.template)
+            now += float(rng.exponential(mean_gap))
+
+
+class PeriodicArrivals(ArrivalProcess):
+    """Scheduled arrivals every ``period_s`` with optional jitter."""
+
+    def __init__(
+        self,
+        template: str,
+        period_s: float,
+        *,
+        offset_s: float = 0.0,
+        jitter_s: float = 0.0,
+        seed: int = 0,
+    ) -> None:
+        if period_s <= 0:
+            raise WorkloadError(f"period must be positive, got {period_s}")
+        self.template = template
+        self.period_s = period_s
+        self.offset_s = offset_s
+        self.jitter_s = jitter_s
+        self._seed = seed
+
+    def arrivals(self, horizon: float) -> Iterator[Arrival]:
+        rng = derive_rng(self._seed, "periodic", self.template)
+        now = self.offset_s
+        while now < horizon:
+            jitter = float(rng.uniform(-self.jitter_s, self.jitter_s)) if self.jitter_s else 0.0
+            time = max(0.0, now + jitter)
+            if time < horizon:
+                yield Arrival(time=time, template=self.template)
+            now += self.period_s
+
+
+def merge_arrivals(processes: list[ArrivalProcess], horizon: float) -> list[Arrival]:
+    """Merge several processes into one time-ordered stream."""
+    merged: list[Arrival] = []
+    for process in processes:
+        merged.extend(process.arrivals(horizon))
+    merged.sort(key=lambda a: a.time)
+    return merged

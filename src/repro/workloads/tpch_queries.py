@@ -1,0 +1,272 @@
+"""Parameterized TPC-H-flavoured query templates.
+
+Each template is a recurring "report" in the warehouse workload: the SQL
+shape is fixed, parameters vary per instantiation.  Template identity is
+what the Statistics Service's forecaster keys on (§4).  Shapes follow the
+TPC-H queries they are named after, adapted to the supported SQL subset
+(no subqueries, no CASE, no LIKE).
+"""
+
+from __future__ import annotations
+
+import datetime
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from repro.errors import WorkloadError
+from repro.util.rng import derive_rng
+from repro.workloads.tpch_schema import TPCH_DICTIONARIES
+
+
+def _date(days_from_1995: int) -> str:
+    base = datetime.date(1995, 1, 1)
+    return (base + datetime.timedelta(days=days_from_1995)).isoformat()
+
+
+@dataclass(frozen=True)
+class QueryTemplate:
+    """A named SQL template with a parameter sampler."""
+
+    name: str
+    description: str
+    tables: tuple[str, ...]
+    sql_template: str
+    param_sampler: Callable[[np.random.Generator], dict[str, object]]
+
+    def instantiate(self, rng: np.random.Generator | None = None) -> str:
+        rng = rng or np.random.default_rng(0)
+        return self.sql_template.format(**self.param_sampler(rng))
+
+
+def _q1_params(rng: np.random.Generator) -> dict[str, object]:
+    return {"ship_cutoff": _date(int(rng.integers(900, 1300)))}
+
+
+def _q3_params(rng: np.random.Generator) -> dict[str, object]:
+    segments = TPCH_DICTIONARIES["customer"]["c_mktsegment"]
+    return {
+        "segment": str(rng.choice(list(segments))),
+        "pivot": _date(int(rng.integers(60, 120))),
+    }
+
+
+def _q5_params(rng: np.random.Generator) -> dict[str, object]:
+    regions = TPCH_DICTIONARIES["region"]["r_name"]
+    start = int(rng.integers(-700, 500))
+    return {
+        "region": str(rng.choice(list(regions))),
+        "start": _date(start),
+        "end": _date(start + 365),
+    }
+
+
+def _q6_params(rng: np.random.Generator) -> dict[str, object]:
+    start = int(rng.integers(-700, 600))
+    discount = float(rng.uniform(0.02, 0.08))
+    return {
+        "start": _date(start),
+        "end": _date(start + 365),
+        "discount_lo": round(discount - 0.01, 2),
+        "discount_hi": round(discount + 0.01, 2),
+        "quantity": int(rng.integers(24, 26)),
+    }
+
+
+def _q10_params(rng: np.random.Generator) -> dict[str, object]:
+    start = int(rng.integers(-700, 600))
+    return {"start": _date(start), "end": _date(start + 90)}
+
+
+def _q12_params(rng: np.random.Generator) -> dict[str, object]:
+    modes = TPCH_DICTIONARIES["lineitem"]["l_shipmode"]
+    pick = rng.choice(len(modes), size=2, replace=False)
+    start = int(rng.integers(-700, 500))
+    return {
+        "mode1": modes[pick[0]],
+        "mode2": modes[pick[1]],
+        "start": _date(start),
+        "end": _date(start + 365),
+    }
+
+
+def _q14_params(rng: np.random.Generator) -> dict[str, object]:
+    start = int(rng.integers(-700, 600))
+    return {"start": _date(start), "end": _date(start + 30)}
+
+
+def _q18_params(rng: np.random.Generator) -> dict[str, object]:
+    return {"min_total": int(rng.integers(300_000, 400_000))}
+
+
+def _q19_params(rng: np.random.Generator) -> dict[str, object]:
+    brands = TPCH_DICTIONARIES["part"]["p_brand"]
+    return {
+        "brand": str(rng.choice(list(brands))),
+        "quantity_lo": int(rng.integers(1, 11)),
+        "quantity_hi": int(rng.integers(20, 31)),
+    }
+
+
+def _scan_orders_params(rng: np.random.Generator) -> dict[str, object]:
+    return {"min_price": float(rng.uniform(100_000, 400_000))}
+
+
+QUERY_TEMPLATES: dict[str, QueryTemplate] = {
+    "q1_pricing_summary": QueryTemplate(
+        name="q1_pricing_summary",
+        description="Pricing summary report: heavy scan + wide aggregation",
+        tables=("lineitem",),
+        sql_template=(
+            "SELECT l_returnflag, l_linestatus, "
+            "sum(l_quantity) AS sum_qty, "
+            "sum(l_extendedprice) AS sum_base_price, "
+            "sum(l_extendedprice * (1 - l_discount)) AS sum_disc_price, "
+            "avg(l_quantity) AS avg_qty, count(*) AS count_order "
+            "FROM lineitem WHERE l_shipdate <= DATE '{ship_cutoff}' "
+            "GROUP BY l_returnflag, l_linestatus "
+            "ORDER BY l_returnflag, l_linestatus"
+        ),
+        param_sampler=_q1_params,
+    ),
+    "q3_shipping_priority": QueryTemplate(
+        name="q3_shipping_priority",
+        description="Top unshipped orders by revenue for a market segment",
+        tables=("customer", "orders", "lineitem"),
+        sql_template=(
+            "SELECT l_orderkey, sum(l_extendedprice * (1 - l_discount)) AS revenue, "
+            "o_orderdate "
+            "FROM customer, orders, lineitem "
+            "WHERE c_mktsegment = '{segment}' AND c_custkey = o_custkey "
+            "AND l_orderkey = o_orderkey AND o_orderdate < DATE '{pivot}' "
+            "AND l_shipdate > DATE '{pivot}' "
+            "GROUP BY l_orderkey, o_orderdate "
+            "ORDER BY revenue DESC LIMIT 10"
+        ),
+        param_sampler=_q3_params,
+    ),
+    "q5_local_supplier": QueryTemplate(
+        name="q5_local_supplier",
+        description="Revenue by nation within a region (6-table join)",
+        tables=("customer", "orders", "lineitem", "supplier", "nation", "region"),
+        sql_template=(
+            "SELECT n_name, sum(l_extendedprice * (1 - l_discount)) AS revenue "
+            "FROM customer, orders, lineitem, supplier, nation, region "
+            "WHERE c_custkey = o_custkey AND l_orderkey = o_orderkey "
+            "AND l_suppkey = s_suppkey AND c_nationkey = s_nationkey "
+            "AND s_nationkey = n_nationkey AND n_regionkey = r_regionkey "
+            "AND r_name = '{region}' AND o_orderdate >= DATE '{start}' "
+            "AND o_orderdate < DATE '{end}' "
+            "GROUP BY n_name ORDER BY revenue DESC"
+        ),
+        param_sampler=_q5_params,
+    ),
+    "q6_revenue_forecast": QueryTemplate(
+        name="q6_revenue_forecast",
+        description="Selective single-table scan with tight predicates",
+        tables=("lineitem",),
+        sql_template=(
+            "SELECT sum(l_extendedprice * l_discount) AS revenue "
+            "FROM lineitem "
+            "WHERE l_shipdate >= DATE '{start}' AND l_shipdate < DATE '{end}' "
+            "AND l_discount BETWEEN {discount_lo} AND {discount_hi} "
+            "AND l_quantity < {quantity}"
+        ),
+        param_sampler=_q6_params,
+    ),
+    "q10_returned_items": QueryTemplate(
+        name="q10_returned_items",
+        description="Customers who returned items, ranked by lost revenue",
+        tables=("customer", "orders", "lineitem", "nation"),
+        sql_template=(
+            "SELECT c_custkey, n_name, "
+            "sum(l_extendedprice * (1 - l_discount)) AS revenue "
+            "FROM customer, orders, lineitem, nation "
+            "WHERE c_custkey = o_custkey AND l_orderkey = o_orderkey "
+            "AND o_orderdate >= DATE '{start}' AND o_orderdate < DATE '{end}' "
+            "AND l_returnflag = 'R' AND c_nationkey = n_nationkey "
+            "GROUP BY c_custkey, n_name "
+            "ORDER BY revenue DESC LIMIT 20"
+        ),
+        param_sampler=_q10_params,
+    ),
+    "q12_shipmode": QueryTemplate(
+        name="q12_shipmode",
+        description="Order counts by ship mode with date-window filter",
+        tables=("orders", "lineitem"),
+        sql_template=(
+            "SELECT l_shipmode, count(*) AS order_count, "
+            "sum(o_totalprice) AS total_price "
+            "FROM orders, lineitem "
+            "WHERE o_orderkey = l_orderkey "
+            "AND l_shipmode IN ('{mode1}', '{mode2}') "
+            "AND l_receiptdate >= DATE '{start}' AND l_receiptdate < DATE '{end}' "
+            "GROUP BY l_shipmode ORDER BY l_shipmode"
+        ),
+        param_sampler=_q12_params,
+    ),
+    "q14_promo_effect": QueryTemplate(
+        name="q14_promo_effect",
+        description="Revenue by part type over a one-month ship window",
+        tables=("lineitem", "part"),
+        sql_template=(
+            "SELECT p_type, sum(l_extendedprice * (1 - l_discount)) AS revenue "
+            "FROM lineitem, part "
+            "WHERE l_partkey = p_partkey "
+            "AND l_shipdate >= DATE '{start}' AND l_shipdate < DATE '{end}' "
+            "GROUP BY p_type ORDER BY revenue DESC LIMIT 25"
+        ),
+        param_sampler=_q14_params,
+    ),
+    "q18_large_orders": QueryTemplate(
+        name="q18_large_orders",
+        description="Large-volume customers (join + heavy group-by)",
+        tables=("customer", "orders"),
+        sql_template=(
+            "SELECT c_custkey, count(*) AS order_count, "
+            "sum(o_totalprice) AS total_spent "
+            "FROM customer, orders "
+            "WHERE c_custkey = o_custkey AND o_totalprice > {min_total} "
+            "GROUP BY c_custkey ORDER BY total_spent DESC LIMIT 100"
+        ),
+        param_sampler=_q18_params,
+    ),
+    "q19_discounted_parts": QueryTemplate(
+        name="q19_discounted_parts",
+        description="Revenue for a brand within quantity bounds",
+        tables=("lineitem", "part"),
+        sql_template=(
+            "SELECT sum(l_extendedprice * (1 - l_discount)) AS revenue "
+            "FROM lineitem, part "
+            "WHERE p_partkey = l_partkey AND p_brand = '{brand}' "
+            "AND l_quantity BETWEEN {quantity_lo} AND {quantity_hi} "
+            "AND l_shipmode IN ('AIR', 'REG AIR')"
+        ),
+        param_sampler=_q19_params,
+    ),
+    "scan_orders": QueryTemplate(
+        name="scan_orders",
+        description="Embarrassingly parallel filtered scan (no exchange)",
+        tables=("orders",),
+        sql_template=(
+            "SELECT count(*) AS big_orders FROM orders "
+            "WHERE o_totalprice > {min_price}"
+        ),
+        param_sampler=_scan_orders_params,
+    ),
+}
+
+
+def template_names() -> tuple[str, ...]:
+    return tuple(QUERY_TEMPLATES)
+
+
+def instantiate(name: str, seed: int = 0) -> str:
+    """Instantiate template ``name`` with seed-derived parameters."""
+    try:
+        template = QUERY_TEMPLATES[name]
+    except KeyError:
+        known = ", ".join(sorted(QUERY_TEMPLATES))
+        raise WorkloadError(f"unknown template {name!r}; known: {known}") from None
+    return template.instantiate(derive_rng(seed, "template", name))

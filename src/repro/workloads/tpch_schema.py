@@ -1,0 +1,173 @@
+"""TPC-H-like schema definitions.
+
+A scaled-down TPC-H: the eight standard tables with the columns the query
+templates use.  Free-text columns (names, comments) are omitted — they
+contribute storage bytes but never predicates in our workloads; low-
+cardinality categorical columns keep sorted string dictionaries.
+"""
+
+from __future__ import annotations
+
+from repro.catalog.schema import Column, DataType, TableSchema
+
+_I = DataType.INT64
+_F = DataType.FLOAT64
+_S = DataType.STRING
+_D = DataType.DATE
+
+
+TPCH_SCHEMAS: dict[str, TableSchema] = {
+    "region": TableSchema(
+        "region",
+        (
+            Column("r_regionkey", _I),
+            Column("r_name", _S),
+        ),
+        primary_key=("r_regionkey",),
+    ),
+    "nation": TableSchema(
+        "nation",
+        (
+            Column("n_nationkey", _I),
+            Column("n_name", _S),
+            Column("n_regionkey", _I),
+        ),
+        primary_key=("n_nationkey",),
+    ),
+    "supplier": TableSchema(
+        "supplier",
+        (
+            Column("s_suppkey", _I),
+            Column("s_nationkey", _I),
+            Column("s_acctbal", _F),
+        ),
+        primary_key=("s_suppkey",),
+    ),
+    "customer": TableSchema(
+        "customer",
+        (
+            Column("c_custkey", _I),
+            Column("c_nationkey", _I),
+            Column("c_acctbal", _F),
+            Column("c_mktsegment", _S),
+        ),
+        primary_key=("c_custkey",),
+    ),
+    "part": TableSchema(
+        "part",
+        (
+            Column("p_partkey", _I),
+            Column("p_brand", _S),
+            Column("p_type", _S),
+            Column("p_size", _I),
+            Column("p_retailprice", _F),
+        ),
+        primary_key=("p_partkey",),
+    ),
+    "partsupp": TableSchema(
+        "partsupp",
+        (
+            Column("ps_partkey", _I),
+            Column("ps_suppkey", _I),
+            Column("ps_availqty", _I),
+            Column("ps_supplycost", _F),
+        ),
+        primary_key=("ps_partkey", "ps_suppkey"),
+    ),
+    "orders": TableSchema(
+        "orders",
+        (
+            Column("o_orderkey", _I),
+            Column("o_custkey", _I),
+            Column("o_orderstatus", _S),
+            Column("o_totalprice", _F),
+            Column("o_orderdate", _D),
+            Column("o_orderpriority", _S),
+        ),
+        primary_key=("o_orderkey",),
+    ),
+    "lineitem": TableSchema(
+        "lineitem",
+        (
+            Column("l_orderkey", _I),
+            Column("l_partkey", _I),
+            Column("l_suppkey", _I),
+            Column("l_quantity", _F),
+            Column("l_extendedprice", _F),
+            Column("l_discount", _F),
+            Column("l_tax", _F),
+            Column("l_returnflag", _S),
+            Column("l_linestatus", _S),
+            Column("l_shipdate", _D),
+            Column("l_commitdate", _D),
+            Column("l_receiptdate", _D),
+            Column("l_shipmode", _S),
+        ),
+    ),
+}
+
+
+#: Sorted dictionaries for STRING columns (code = index in tuple).
+TPCH_DICTIONARIES: dict[str, dict[str, tuple[str, ...]]] = {
+    "region": {
+        "r_name": ("AFRICA", "AMERICA", "ASIA", "EUROPE", "MIDDLE EAST"),
+    },
+    "nation": {
+        "n_name": tuple(
+            sorted(
+                (
+                    "ALGERIA", "ARGENTINA", "BRAZIL", "CANADA", "CHINA",
+                    "EGYPT", "ETHIOPIA", "FRANCE", "GERMANY", "INDIA",
+                    "INDONESIA", "IRAN", "IRAQ", "JAPAN", "JORDAN",
+                    "KENYA", "MOROCCO", "MOZAMBIQUE", "PERU", "ROMANIA",
+                    "RUSSIA", "SAUDI ARABIA", "UNITED KINGDOM",
+                    "UNITED STATES", "VIETNAM",
+                )
+            )
+        ),
+    },
+    "customer": {
+        "c_mktsegment": (
+            "AUTOMOBILE", "BUILDING", "FURNITURE", "HOUSEHOLD", "MACHINERY",
+        ),
+    },
+    "part": {
+        "p_brand": tuple(sorted(f"Brand#{m}{n}" for m in range(1, 6) for n in range(1, 6))),
+        "p_type": tuple(
+            sorted(
+                f"{a} {b} {c}"
+                for a in ("ECONOMY", "LARGE", "MEDIUM", "PROMO", "SMALL", "STANDARD")
+                for b in ("ANODIZED", "BRUSHED", "BURNISHED", "PLATED", "POLISHED")
+                for c in ("BRASS", "COPPER", "NICKEL", "STEEL", "TIN")
+            )
+        ),
+    },
+    "orders": {
+        "o_orderstatus": ("F", "O", "P"),
+        "o_orderpriority": (
+            "1-URGENT", "2-HIGH", "3-MEDIUM", "4-NOT SPECIFIED", "5-LOW",
+        ),
+    },
+    "lineitem": {
+        "l_returnflag": ("A", "N", "R"),
+        "l_linestatus": ("F", "O"),
+        "l_shipmode": ("AIR", "FOB", "MAIL", "RAIL", "REG AIR", "SHIP", "TRUCK"),
+    },
+}
+
+
+#: Base (scale factor 1.0) row counts, mirroring TPC-H proportions.
+BASE_ROW_COUNTS: dict[str, int] = {
+    "region": 5,
+    "nation": 25,
+    "supplier": 10_000,
+    "customer": 150_000,
+    "part": 200_000,
+    "partsupp": 800_000,
+    "orders": 1_500_000,
+    "lineitem": 6_000_000,
+}
+
+#: Date domain: TPC-H uses 1992-01-01 .. 1998-12-31 (epoch days).
+DATE_MIN = 8036  # 1992-01-01
+DATE_MAX = 10591  # 1998-12-31

@@ -1,0 +1,180 @@
+"""Statistics-only TPC-H-like catalogs at arbitrary scale.
+
+Provisioning experiments need *large* databases (the paper's examples
+involve petabyte tables) while the planner, cost estimator, and
+distributed simulator consume only catalog statistics — never rows.
+This module fabricates a :class:`Catalog` with analytically-derived
+statistics at any scale factor, mirroring the distributions of
+:mod:`repro.workloads.tpch_data` exactly, so a laptop can plan and
+simulate queries over 100 TB of synthetic data.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.catalog.catalog import Catalog, TableEntry
+from repro.catalog.schema import DataType, TableSchema
+from repro.catalog.statistics import ColumnStats, EquiDepthHistogram, TableStats
+from repro.errors import WorkloadError
+from repro.storage.micropartition import COMPRESSION_RATIO, DEFAULT_PARTITION_ROWS
+from repro.workloads.tpch_schema import (
+    BASE_ROW_COUNTS,
+    DATE_MAX,
+    DATE_MIN,
+    TPCH_DICTIONARIES,
+    TPCH_SCHEMAS,
+)
+
+
+def _uniform_histogram(lo: float, hi: float, rows: int, buckets: int = 64) -> EquiDepthHistogram:
+    if rows <= 0:
+        return EquiDepthHistogram(bounds=(lo, hi), counts=(0,))
+    buckets = max(1, min(buckets, rows))
+    step = (hi - lo) / buckets
+    bounds = tuple(lo + i * step for i in range(buckets + 1))
+    base = rows // buckets
+    counts = [base] * buckets
+    counts[-1] += rows - base * buckets
+    return EquiDepthHistogram(bounds=bounds, counts=tuple(counts))
+
+
+def _column_domains(rows: dict[str, int]) -> dict[str, dict[str, tuple[float, float, float]]]:
+    """Per table.column: (min, max, ndv) matching the data generator."""
+    n_nation = rows["nation"]
+    n_region = rows["region"]
+    n_supplier = rows["supplier"]
+    n_customer = rows["customer"]
+    n_part = rows["part"]
+    n_orders = rows["orders"]
+    n_lineitem = rows["lineitem"]
+    dictionary_sizes = {
+        (table, column): len(values)
+        for table, columns in TPCH_DICTIONARIES.items()
+        for column, values in columns.items()
+    }
+
+    def dict_ndv(table: str, column: str) -> float:
+        return float(dictionary_sizes[(table, column)])
+
+    return {
+        "region": {
+            "r_regionkey": (0, n_region - 1, n_region),
+            "r_name": (0, n_region - 1, n_region),
+        },
+        "nation": {
+            "n_nationkey": (0, n_nation - 1, n_nation),
+            "n_name": (0, n_nation - 1, n_nation),
+            "n_regionkey": (0, n_region - 1, n_region),
+        },
+        "supplier": {
+            "s_suppkey": (0, n_supplier - 1, n_supplier),
+            "s_nationkey": (0, n_nation - 1, min(n_nation, n_supplier)),
+            "s_acctbal": (-999.99, 9999.99, min(n_supplier, 1_000_000)),
+        },
+        "customer": {
+            "c_custkey": (0, n_customer - 1, n_customer),
+            "c_nationkey": (0, n_nation - 1, min(n_nation, n_customer)),
+            "c_acctbal": (-999.99, 9999.99, min(n_customer, 1_000_000)),
+            "c_mktsegment": (0, 4, dict_ndv("customer", "c_mktsegment")),
+        },
+        "part": {
+            "p_partkey": (0, n_part - 1, n_part),
+            "p_brand": (0, 24, dict_ndv("part", "p_brand")),
+            "p_type": (0, 149, dict_ndv("part", "p_type")),
+            "p_size": (1, 50, 50),
+            "p_retailprice": (900.0, 2100.0, min(n_part, 1_000_000)),
+        },
+        "partsupp": {
+            "ps_partkey": (0, n_part - 1, min(n_part, rows["partsupp"])),
+            "ps_suppkey": (0, n_supplier - 1, min(n_supplier, rows["partsupp"])),
+            "ps_availqty": (1, 9999, 9999),
+            "ps_supplycost": (1.0, 1000.0, min(rows["partsupp"], 1_000_000)),
+        },
+        "orders": {
+            "o_orderkey": (0, n_orders - 1, n_orders),
+            "o_custkey": (0, n_customer - 1, min(n_customer, n_orders)),
+            "o_orderstatus": (0, 2, dict_ndv("orders", "o_orderstatus")),
+            "o_totalprice": (850.0, 450_000.0, min(n_orders, 1_000_000)),
+            "o_orderdate": (DATE_MIN, DATE_MAX - 150, DATE_MAX - 150 - DATE_MIN),
+            "o_orderpriority": (0, 4, dict_ndv("orders", "o_orderpriority")),
+        },
+        "lineitem": {
+            "l_orderkey": (0, n_orders - 1, min(n_orders, n_lineitem)),
+            "l_partkey": (0, n_part - 1, min(n_part, n_lineitem)),
+            "l_suppkey": (0, n_supplier - 1, min(n_supplier, n_lineitem)),
+            "l_quantity": (1, 50, 50),
+            "l_extendedprice": (900.0, 105_000.0, min(n_lineitem, 1_000_000)),
+            "l_discount": (0.0, 0.10, 11),
+            "l_tax": (0.0, 0.08, 9),
+            "l_returnflag": (0, 2, dict_ndv("lineitem", "l_returnflag")),
+            "l_linestatus": (0, 1, dict_ndv("lineitem", "l_linestatus")),
+            "l_shipdate": (DATE_MIN + 1, DATE_MAX - 30, DATE_MAX - 30 - DATE_MIN),
+            "l_commitdate": (DATE_MIN - 30, DATE_MAX, DATE_MAX - DATE_MIN),
+            "l_receiptdate": (DATE_MIN + 2, DATE_MAX, DATE_MAX - DATE_MIN),
+            "l_shipmode": (0, 6, dict_ndv("lineitem", "l_shipmode")),
+        },
+    }
+
+
+def synthetic_tpch_catalog(
+    scale_factor: float,
+    *,
+    cluster_keys: dict[str, str] | None = None,
+    partition_rows: int = DEFAULT_PARTITION_ROWS,
+    catalog: Catalog | None = None,
+) -> Catalog:
+    """Build a statistics-only TPC-H catalog at ``scale_factor``.
+
+    ``cluster_keys`` marks tables as physically clustered on a column;
+    their clustering depth is derived from the partition count (a
+    well-maintained clustered table touches only a handful of partitions
+    per key range).
+    """
+    if scale_factor <= 0:
+        raise WorkloadError(f"scale factor must be positive, got {scale_factor}")
+    cluster_keys = cluster_keys or {}
+    catalog = catalog or Catalog()
+
+    rows: dict[str, int] = {}
+    for table, base in BASE_ROW_COUNTS.items():
+        if table in ("region", "nation"):
+            rows[table] = base
+        else:
+            rows[table] = max(1, int(round(base * scale_factor)))
+
+    domains = _column_domains(rows)
+    for table_name, schema in TPCH_SCHEMAS.items():
+        row_count = rows[table_name]
+        column_stats: dict[str, ColumnStats] = {}
+        for column in schema.columns:
+            lo, hi, ndv = domains[table_name][column.name]
+            ndv_int = max(1, min(int(round(ndv)), row_count))
+            column_stats[column.name] = ColumnStats(
+                column=column,
+                row_count=row_count,
+                ndv=ndv_int,
+                min_value=float(lo),
+                max_value=float(hi),
+                histogram=_uniform_histogram(float(lo), float(hi), row_count),
+            )
+        stats = TableStats(
+            table=table_name, row_count=row_count, column_stats=column_stats
+        )
+        num_partitions = max(1, math.ceil(row_count / partition_rows))
+        key = cluster_keys.get(table_name)
+        depth = 1.0
+        schema_out = schema
+        if key is not None:
+            schema_out = schema.with_clustering_key(key)
+            depth = min(1.0, max(2.0 / num_partitions, 0.001))
+        entry = TableEntry(
+            schema=schema_out,
+            stats=stats,
+            storage_bytes=int(row_count * schema.row_width_bytes / COMPRESSION_RATIO),
+            num_partitions=num_partitions,
+            dictionaries=dict(TPCH_DICTIONARIES.get(table_name, {})),
+            clustering_depth=depth,
+        )
+        catalog.register_table(entry)
+    return catalog

@@ -1,0 +1,118 @@
+import numpy as np
+import pytest
+
+from repro.catalog.schema import Column, DataType, TableSchema
+from repro.catalog.statistics import (
+    ColumnStats,
+    EquiDepthHistogram,
+    build_column_stats,
+    build_table_stats,
+)
+from repro.errors import CatalogError
+
+
+@pytest.fixture(scope="module")
+def uniform_histogram():
+    values = np.arange(10_000, dtype=np.float64)
+    return EquiDepthHistogram.from_values(values, num_buckets=32)
+
+
+def test_histogram_mass_conserved(uniform_histogram):
+    assert uniform_histogram.total_count == 10_000
+
+
+def test_histogram_counts_roughly_equal(uniform_histogram):
+    counts = np.array(uniform_histogram.counts)
+    assert counts.max() - counts.min() <= 2
+
+
+def test_selectivity_le_midpoint(uniform_histogram):
+    assert uniform_histogram.selectivity_le(4999.5) == pytest.approx(0.5, abs=0.02)
+
+
+def test_selectivity_le_bounds(uniform_histogram):
+    assert uniform_histogram.selectivity_le(-1) == 0.0
+    assert uniform_histogram.selectivity_le(1e9) == 1.0
+
+
+def test_selectivity_range(uniform_histogram):
+    sel = uniform_histogram.selectivity_range(2500, 7500)
+    assert sel == pytest.approx(0.5, abs=0.03)
+
+
+def test_selectivity_range_open_ends(uniform_histogram):
+    assert uniform_histogram.selectivity_range(None, None) == pytest.approx(1.0)
+
+
+def test_selectivity_eq_uniform(uniform_histogram):
+    sel = uniform_histogram.selectivity_eq(5000.0, ndv=10_000)
+    assert sel == pytest.approx(1.0 / 10_000, rel=0.5)
+
+
+def test_selectivity_eq_out_of_domain(uniform_histogram):
+    assert uniform_histogram.selectivity_eq(-5.0, ndv=10_000) == 0.0
+
+
+def test_histogram_skewed_data_still_conserves_mass():
+    values = np.concatenate([np.zeros(9000), np.arange(1000)])
+    histogram = EquiDepthHistogram.from_values(values, num_buckets=16)
+    assert histogram.total_count == 10_000
+
+
+def test_histogram_invalid_shapes():
+    with pytest.raises(CatalogError):
+        EquiDepthHistogram(bounds=(0.0, 1.0), counts=(1, 2))
+    with pytest.raises(CatalogError):
+        EquiDepthHistogram(bounds=(1.0, 0.0), counts=(1,))
+    with pytest.raises(CatalogError):
+        EquiDepthHistogram(bounds=(0.0, 1.0), counts=(-1,))
+
+
+def test_column_stats_validation():
+    col = Column("a", DataType.INT64)
+    with pytest.raises(CatalogError):
+        ColumnStats(column=col, row_count=10, ndv=11, min_value=0, max_value=1)
+    with pytest.raises(CatalogError):
+        ColumnStats(column=col, row_count=-1, ndv=0, min_value=0, max_value=1)
+
+
+def test_build_column_stats_full():
+    col = Column("a", DataType.INT64)
+    values = np.arange(5000)
+    stats = build_column_stats(col, values)
+    assert stats.row_count == 5000
+    assert stats.ndv == 5000
+    assert stats.min_value == 0.0
+    assert stats.max_value == 4999.0
+
+
+def test_build_column_stats_sampled_scales():
+    col = Column("a", DataType.INT64)
+    rng = np.random.default_rng(0)
+    values = rng.integers(0, 100, size=20_000)
+    stats = build_column_stats(col, values, sample_rate=0.1, rng=rng)
+    assert stats.row_count == 20_000
+    # NDV of a 100-value domain should be near 100 even from a sample.
+    assert 30 <= stats.ndv <= 200
+
+
+def test_build_column_stats_invalid_rate():
+    col = Column("a", DataType.INT64)
+    with pytest.raises(CatalogError):
+        build_column_stats(col, np.arange(5), sample_rate=0.0)
+
+
+def test_build_table_stats_ragged_rejected():
+    schema = TableSchema(
+        "t", (Column("a", DataType.INT64), Column("b", DataType.INT64))
+    )
+    with pytest.raises(CatalogError):
+        build_table_stats(schema, {"a": np.arange(5), "b": np.arange(6)})
+
+
+def test_scaled_stats():
+    col = Column("a", DataType.INT64)
+    stats = build_column_stats(col, np.arange(1000))
+    scaled = stats.scaled(0.5)
+    assert scaled.row_count == 500
+    assert scaled.ndv <= 500

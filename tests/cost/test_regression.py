@@ -1,0 +1,129 @@
+import pytest
+
+from repro.cost.hardware import HardwareCalibration
+from repro.cost.operator_models import OperatorModels
+from repro.cost.regression import (
+    ExchangeCalibration,
+    ExchangeCoefficients,
+    ExchangeSample,
+    analytic_transfer_seconds,
+    calibrate_exchange,
+    fit_exchange_coefficients,
+)
+from repro.errors import EstimationError
+from repro.plan.physical import ExchangeKind
+from repro.sim.distsim import SimConfig, measure_exchange
+from repro.util.units import GB, MB
+
+
+@pytest.fixture(scope="module")
+def hw():
+    return HardwareCalibration()
+
+
+def test_analytic_transfer_shapes(hw):
+    net = hw.network_bytes_per_node
+    # Shuffle at dop=1 moves nothing.
+    assert analytic_transfer_seconds(ExchangeKind.SHUFFLE, GB, 1, net, 0.35) == 0.0
+    # Gather is dop-invariant (single receiver NIC).
+    g4 = analytic_transfer_seconds(ExchangeKind.GATHER, GB, 4, net, 0.35)
+    g32 = analytic_transfer_seconds(ExchangeKind.GATHER, GB, 32, net, 0.35)
+    assert g4 == g32
+    # Broadcast grows with dop.
+    b2 = analytic_transfer_seconds(ExchangeKind.BROADCAST, GB, 2, net, 0.35)
+    b32 = analytic_transfer_seconds(ExchangeKind.BROADCAST, GB, 32, net, 0.35)
+    assert b32 > b2
+
+
+def test_fit_recovers_synthetic_coefficients(hw):
+    true = ExchangeCoefficients(
+        transfer_scale=1.4, base_setup_s=0.08, per_peer_setup_s=0.01
+    )
+    samples = []
+    for payload in (16 * MB, 128 * MB, GB):
+        for dop in (1, 2, 4, 8, 16, 32):
+            transfer = analytic_transfer_seconds(
+                ExchangeKind.GATHER, payload, dop,
+                hw.network_bytes_per_node, hw.broadcast_tree_factor,
+            )
+            seconds = (
+                true.transfer_scale * transfer
+                + true.base_setup_s
+                + true.per_peer_setup_s * (dop - 1)
+            )
+            samples.append(ExchangeSample(ExchangeKind.GATHER, payload, dop, seconds))
+    fitted = fit_exchange_coefficients(
+        samples, hw.network_bytes_per_node, hw.broadcast_tree_factor
+    )
+    assert fitted.transfer_scale == pytest.approx(1.4, rel=0.01)
+    assert fitted.base_setup_s == pytest.approx(0.08, rel=0.05)
+    assert fitted.per_peer_setup_s == pytest.approx(0.01, rel=0.05)
+
+
+def test_fit_requires_samples_and_single_kind(hw):
+    with pytest.raises(EstimationError):
+        fit_exchange_coefficients([], 1.0, 0.3)
+    mixed = [
+        ExchangeSample(ExchangeKind.GATHER, 1e6, 2, 0.1),
+        ExchangeSample(ExchangeKind.SHUFFLE, 1e6, 2, 0.1),
+        ExchangeSample(ExchangeKind.GATHER, 1e6, 4, 0.1),
+    ]
+    with pytest.raises(EstimationError):
+        fit_exchange_coefficients(mixed, 1.0, 0.3)
+
+
+def test_calibration_recovers_simulator_inefficiency(hw):
+    """The E3 loop: calibrate on simulator measurements, predictions improve."""
+    config = SimConfig(noise_sigma=0.0, skew_zipf_s=0.0)
+    models = OperatorModels(hw)
+    calibration = calibrate_exchange(
+        lambda kind, payload, dop: measure_exchange(
+            kind, payload, dop, models=models, config=config
+        ),
+        hardware=hw,
+    )
+    gather = calibration.coefficients(ExchangeKind.GATHER)
+    # Hidden truth in SimConfig: transfer x1.18, setup x1.6.
+    assert gather.transfer_scale == pytest.approx(1.18, rel=0.05)
+    assert gather.base_setup_s == pytest.approx(hw.exchange_setup_s * 1.6, rel=0.25)
+
+
+def test_calibrated_model_beats_default(hw):
+    config = SimConfig(noise_sigma=0.0, skew_zipf_s=0.0)
+    models = OperatorModels(hw)
+    calibration = calibrate_exchange(
+        lambda kind, payload, dop: measure_exchange(
+            kind, payload, dop, models=models, config=config
+        ),
+        hardware=hw,
+    )
+    default = ExchangeCalibration.analytic(hw)
+
+    def prediction_error(cal):
+        total = 0.0
+        count = 0
+        for payload in (32 * MB, 512 * MB):
+            for dop in (2, 8, 32):
+                truth = measure_exchange(
+                    ExchangeKind.GATHER, payload, dop, models=models, config=config
+                )
+                coeffs = cal.coefficients(ExchangeKind.GATHER)
+                transfer = analytic_transfer_seconds(
+                    ExchangeKind.GATHER, payload, dop,
+                    hw.network_bytes_per_node, hw.broadcast_tree_factor,
+                )
+                predicted = (
+                    coeffs.transfer_scale * transfer
+                    + coeffs.base_setup_s
+                    + coeffs.per_peer_setup_s * (dop - 1)
+                )
+                total += abs(predicted - truth) / truth
+                count += 1
+        return total / count
+
+    assert prediction_error(calibration) < prediction_error(default) / 2
+
+
+def test_invalid_coefficients():
+    with pytest.raises(EstimationError):
+        ExchangeCoefficients(transfer_scale=0.0)

@@ -1,0 +1,148 @@
+"""Local execution correctness against independent numpy computation."""
+
+import numpy as np
+import pytest
+
+from repro.engine.local_executor import LocalExecutor
+from repro.workloads.tpch_data import generate_tpch
+from tests.conftest import SMALL_SF
+
+
+@pytest.fixture(scope="module")
+def raw():
+    return generate_tpch(scale_factor=SMALL_SF, seed=42)
+
+
+@pytest.fixture(scope="module")
+def executor(tpch_db):
+    return LocalExecutor(tpch_db)
+
+
+def run(executor, binder, planner, sql):
+    return executor.execute(planner.plan(binder.bind_sql(sql)))
+
+
+def test_filtered_count(executor, tpch_binder, tpch_planner, raw):
+    result = run(
+        executor, tpch_binder, tpch_planner,
+        "SELECT count(*) AS c FROM orders WHERE o_totalprice > 200000",
+    )
+    expected = int((raw["orders"]["o_totalprice"] > 200000).sum())
+    assert int(result.batch.column("c")[0]) == expected
+
+
+def test_global_sum_with_expression(executor, tpch_binder, tpch_planner, raw):
+    result = run(
+        executor, tpch_binder, tpch_planner,
+        "SELECT sum(l_extendedprice * (1 - l_discount)) AS revenue FROM lineitem",
+    )
+    li = raw["lineitem"]
+    expected = float((li["l_extendedprice"] * (1 - li["l_discount"])).sum())
+    assert result.batch.column("revenue")[0] == pytest.approx(expected, rel=1e-9)
+
+
+def test_group_by_matches_numpy(executor, tpch_binder, tpch_planner, raw):
+    result = run(
+        executor, tpch_binder, tpch_planner,
+        "SELECT l_returnflag, count(*) AS c, sum(l_quantity) AS q "
+        "FROM lineitem GROUP BY l_returnflag ORDER BY l_returnflag",
+    )
+    li = raw["lineitem"]
+    flags = np.unique(li["l_returnflag"])
+    assert result.batch.column("l_returnflag").tolist() == flags.tolist()
+    for i, flag in enumerate(flags):
+        mask = li["l_returnflag"] == flag
+        assert int(result.batch.column("c")[i]) == int(mask.sum())
+        assert result.batch.column("q")[i] == pytest.approx(
+            float(li["l_quantity"][mask].sum())
+        )
+
+
+def test_join_aggregate_matches_numpy(executor, tpch_binder, tpch_planner, raw):
+    result = run(
+        executor, tpch_binder, tpch_planner,
+        "SELECT count(*) AS c FROM orders, lineitem "
+        "WHERE o_orderkey = l_orderkey AND o_totalprice > 300000",
+    )
+    orders = raw["orders"]
+    li = raw["lineitem"]
+    big = set(orders["o_orderkey"][orders["o_totalprice"] > 300000].tolist())
+    expected = int(np.isin(li["l_orderkey"], list(big)).sum())
+    assert int(result.batch.column("c")[0]) == expected
+
+
+def test_three_way_join(executor, tpch_binder, tpch_planner, raw):
+    result = run(
+        executor, tpch_binder, tpch_planner,
+        "SELECT n_name, count(*) AS c FROM customer, nation, region "
+        "WHERE c_nationkey = n_nationkey AND n_regionkey = r_regionkey "
+        "AND r_name = 'ASIA' GROUP BY n_name ORDER BY n_name",
+    )
+    nation = raw["nation"]
+    customer = raw["customer"]
+    asia_code = 2  # 'ASIA' in sorted region dictionary
+    asia_nations = nation["n_nationkey"][
+        np.isin(nation["n_regionkey"], raw["region"]["r_regionkey"][raw["region"]["r_name"] == asia_code])
+    ]
+    mask = np.isin(customer["c_nationkey"], asia_nations)
+    assert int(result.batch.column("c").sum()) == int(mask.sum())
+
+
+def test_order_by_limit(executor, tpch_binder, tpch_planner, raw):
+    result = run(
+        executor, tpch_binder, tpch_planner,
+        "SELECT o_orderkey, o_totalprice FROM orders ORDER BY o_totalprice DESC LIMIT 5",
+    )
+    expected = np.sort(raw["orders"]["o_totalprice"])[::-1][:5]
+    assert np.allclose(result.batch.column("o_totalprice"), expected)
+
+
+def test_having_filters_groups(executor, tpch_binder, tpch_planner, raw):
+    result = run(
+        executor, tpch_binder, tpch_planner,
+        "SELECT o_custkey, count(*) AS c FROM orders GROUP BY o_custkey "
+        "HAVING count(*) > 3",
+    )
+    keys, counts = np.unique(raw["orders"]["o_custkey"], return_counts=True)
+    expected = int((counts > 3).sum())
+    assert result.batch.num_rows == expected
+    assert (result.batch.column("c") > 3).all()
+
+
+def test_distinct(executor, tpch_binder, tpch_planner, raw):
+    result = run(
+        executor, tpch_binder, tpch_planner,
+        "SELECT DISTINCT o_orderstatus FROM orders",
+    )
+    expected = len(np.unique(raw["orders"]["o_orderstatus"]))
+    assert result.batch.num_rows == expected
+
+
+def test_true_cardinalities_recorded(executor, tpch_binder, tpch_planner):
+    plan = tpch_planner.plan(
+        tpch_binder.bind_sql("SELECT count(*) AS c FROM orders WHERE o_totalprice > 0")
+    )
+    result = executor.execute(plan)
+    assert result.true_rows  # every node observed
+    from repro.plan.physical import walk_physical
+
+    for node in walk_physical(plan):
+        assert node.node_id in result.true_rows
+
+
+def test_impossible_string_predicate_returns_empty(executor, tpch_binder, tpch_planner):
+    result = run(
+        executor, tpch_binder, tpch_planner,
+        "SELECT count(*) AS c FROM customer WHERE c_mktsegment = 'NOSUCHSEG'",
+    )
+    assert int(result.batch.column("c")[0]) == 0
+
+
+def test_year_function(executor, tpch_binder, tpch_planner, raw):
+    result = run(
+        executor, tpch_binder, tpch_planner,
+        "SELECT count(*) AS c FROM orders WHERE year(o_orderdate) = 1995",
+    )
+    days = raw["orders"]["o_orderdate"].astype("datetime64[D]")
+    years = days.astype("datetime64[Y]").astype(int) + 1970
+    assert int(result.batch.column("c")[0]) == int((years == 1995).sum())

@@ -1,0 +1,204 @@
+import numpy as np
+import pytest
+
+from repro.engine.batch import Batch
+from repro.engine.operators import (
+    execute_aggregate,
+    execute_filter,
+    execute_hash_join,
+    execute_project,
+    execute_scan,
+    execute_sort,
+)
+from repro.errors import ExecutionError
+from repro.plan.expressions import AggCall, BinaryOp, ColumnRef, Literal
+
+
+def test_filter_matches_numpy():
+    batch = Batch({"a": np.arange(100), "b": np.arange(100) * 2.0})
+    out = execute_filter(batch, BinaryOp("<", ColumnRef("a"), Literal(10)))
+    assert out.num_rows == 10
+    assert np.array_equal(out.column("b"), np.arange(10) * 2.0)
+
+
+def test_project_computes_expressions():
+    batch = Batch({"a": np.arange(5.0)})
+    out = execute_project(
+        batch,
+        (BinaryOp("*", ColumnRef("a"), Literal(3)), Literal(7)),
+        ("triple", "seven"),
+    )
+    assert np.array_equal(out.column("triple"), np.arange(5.0) * 3)
+    assert np.array_equal(out.column("seven"), np.full(5, 7))
+
+
+def test_hash_join_inner_semantics():
+    build = Batch({"k": np.array([1, 2, 2, 5]), "bv": np.array([10.0, 20.0, 21.0, 50.0])})
+    probe = Batch({"k2": np.array([2, 1, 7, 2]), "pv": np.array([1.0, 2.0, 3.0, 4.0])})
+    out = execute_hash_join(
+        build, probe, (ColumnRef("k"),), (ColumnRef("k2"),)
+    )
+    # probe row k2=2 matches two build rows; k2=7 matches none.
+    assert out.num_rows == 5
+    pairs = sorted(zip(out.column("k2").tolist(), out.column("bv").tolist()))
+    assert pairs == [(1, 10.0), (2, 20.0), (2, 20.0), (2, 21.0), (2, 21.0)]
+
+
+def test_hash_join_empty_probe():
+    build = Batch({"k": np.array([1, 2])})
+    probe = Batch({"k2": np.array([], dtype=np.int64)})
+    out = execute_hash_join(build, probe, (ColumnRef("k"),), (ColumnRef("k2"),))
+    assert out.num_rows == 0
+
+
+def test_hash_join_multi_key():
+    build = Batch({"a": np.array([1, 1, 2]), "b": np.array([0, 1, 0]), "v": np.array([9, 8, 7])})
+    probe = Batch({"x": np.array([1, 1, 2]), "y": np.array([1, 0, 1])})
+    out = execute_hash_join(
+        build, probe, (ColumnRef("a"), ColumnRef("b")), (ColumnRef("x"), ColumnRef("y"))
+    )
+    assert sorted(out.column("v").tolist()) == [8, 9]
+
+
+def test_hash_join_rejects_float_keys():
+    build = Batch({"k": np.array([1.5])})
+    probe = Batch({"k2": np.array([1.5])})
+    with pytest.raises(ExecutionError):
+        execute_hash_join(build, probe, (ColumnRef("k"),), (ColumnRef("k2"),))
+
+
+def test_hash_join_duplicate_output_columns_rejected():
+    build = Batch({"k": np.array([1])})
+    probe = Batch({"k": np.array([1])})
+    with pytest.raises(ExecutionError):
+        execute_hash_join(build, probe, (ColumnRef("k"),), (ColumnRef("k"),))
+
+
+def test_join_residual_applied():
+    build = Batch({"k": np.array([1, 2]), "bv": np.array([5.0, 50.0])})
+    probe = Batch({"k2": np.array([1, 2]), "pv": np.array([10.0, 10.0])})
+    out = execute_hash_join(
+        build,
+        probe,
+        (ColumnRef("k"),),
+        (ColumnRef("k2"),),
+        residual=BinaryOp("<", ColumnRef("bv"), ColumnRef("pv")),
+    )
+    assert out.num_rows == 1
+    assert out.column("k").tolist() == [1]
+
+
+def _group_batch():
+    return Batch(
+        {
+            "g": np.array([0, 1, 0, 1, 2], dtype=np.int64),
+            "h": np.array([5, 5, 6, 5, 5], dtype=np.int64),
+            "x": np.array([1.0, 2.0, 3.0, 4.0, 5.0]),
+        }
+    )
+
+
+def test_aggregate_single_key():
+    out = execute_aggregate(
+        _group_batch(),
+        (ColumnRef("g"),),
+        (
+            AggCall("sum", ColumnRef("x")),
+            AggCall("count", None),
+            AggCall("min", ColumnRef("x")),
+            AggCall("max", ColumnRef("x")),
+            AggCall("avg", ColumnRef("x")),
+        ),
+        ("s", "c", "mn", "mx", "av"),
+    )
+    by_group = {
+        int(g): (s, c, mn, mx, av)
+        for g, s, c, mn, mx, av in zip(
+            out.column("g"), out.column("s"), out.column("c"),
+            out.column("mn"), out.column("mx"), out.column("av"),
+        )
+    }
+    assert by_group[0] == (4.0, 2, 1.0, 3.0, 2.0)
+    assert by_group[1] == (6.0, 2, 2.0, 4.0, 3.0)
+    assert by_group[2] == (5.0, 1, 5.0, 5.0, 5.0)
+
+
+def test_aggregate_multi_key():
+    out = execute_aggregate(
+        _group_batch(),
+        (ColumnRef("g"), ColumnRef("h")),
+        (AggCall("count", None),),
+        ("c",),
+    )
+    assert out.num_rows == 4  # (0,5),(0,6),(1,5),(2,5)
+    assert out.column("c").sum() == 5
+
+
+def test_aggregate_global_empty_input():
+    empty = Batch({"x": np.array([], dtype=np.float64)})
+    out = execute_aggregate(
+        empty, (), (AggCall("count", None), AggCall("sum", ColumnRef("x"))), ("c", "s")
+    )
+    assert out.num_rows == 1
+    assert out.column("c")[0] == 0
+    assert np.isnan(out.column("s")[0])
+
+
+def test_aggregate_count_distinct():
+    batch = Batch(
+        {
+            "g": np.array([0, 0, 0, 1], dtype=np.int64),
+            "x": np.array([1.0, 1.0, 2.0, 9.0]),
+        }
+    )
+    out = execute_aggregate(
+        batch,
+        (ColumnRef("g"),),
+        (AggCall("count", ColumnRef("x"), distinct=True),),
+        ("d",),
+    )
+    by_group = dict(zip(out.column("g").tolist(), out.column("d").tolist()))
+    assert by_group == {0: 2, 1: 1}
+
+
+def test_aggregate_distinct_only_count():
+    batch = Batch({"x": np.array([1.0])})
+    with pytest.raises(ExecutionError):
+        execute_aggregate(
+            batch, (), (AggCall("sum", ColumnRef("x"), distinct=True),), ("s",)
+        )
+
+
+def test_sort_multi_key_directions():
+    batch = Batch(
+        {
+            "a": np.array([1, 2, 1, 2]),
+            "b": np.array([9.0, 8.0, 7.0, 6.0]),
+        }
+    )
+    out = execute_sort(batch, ("a", "b"), (True, False))
+    assert out.column("a").tolist() == [1, 1, 2, 2]
+    assert out.column("b").tolist() == [9.0, 7.0, 8.0, 6.0]
+
+
+def test_sort_with_limit():
+    batch = Batch({"a": np.arange(100)})
+    out = execute_sort(batch, ("a",), (False,), limit=3)
+    assert out.column("a").tolist() == [99, 98, 97]
+
+
+def test_scan_prunes_partitions(tpch_db):
+    table = tpch_db.stored_table("lineitem")
+    predicate = BinaryOp(
+        "and",
+        BinaryOp(">=", ColumnRef("l_shipdate"), Literal(9131)),
+        BinaryOp("<", ColumnRef("l_shipdate"), Literal(9200)),
+    )
+    batch, partitions_read, rows_read = execute_scan(
+        table, ("l_orderkey",), predicate
+    )
+    assert partitions_read < table.num_partitions  # clustered on l_shipdate
+    assert rows_read >= batch.num_rows
+    full, _, _ = execute_scan(table, ("l_orderkey", "l_shipdate"), None)
+    mask = (full.column("l_shipdate") >= 9131) & (full.column("l_shipdate") < 9200)
+    assert batch.num_rows == int(mask.sum())

@@ -1,0 +1,81 @@
+import pytest
+
+from repro.optimizer.bushy import bushiness, bushy_variants, estimate_tree, tree_depth
+from repro.optimizer.cardinality import CardinalityEstimator
+from repro.optimizer.join_order import JoinTree, order_joins
+from repro.workloads.tpch_queries import instantiate
+
+
+@pytest.fixture(scope="module")
+def q5_setup(tpch_db, tpch_binder):
+    bound = tpch_binder.bind_sql(instantiate("q5_local_supplier", seed=3))
+    card = CardinalityEstimator(tpch_db.catalog)
+    base = {
+        ref.name: card.base_relation(
+            ref.name, None, tpch_db.catalog.table(ref.name).schema.column_names
+        )
+        for ref in bound.tables
+    }
+    tree, _ = order_joins(base, bound.join_edges, card, left_deep_only=True)
+    return bound, card, base, tree
+
+
+def test_variants_include_original_first(q5_setup):
+    bound, card, base, tree = q5_setup
+    variants = bushy_variants(tree, base, bound.join_edges, card)
+    assert variants[0].describe() == tree.describe()
+    assert len(variants) >= 2  # a 6-table query should admit bushy shapes
+
+
+def test_variants_sorted_by_bushiness(q5_setup):
+    bound, card, base, tree = q5_setup
+    variants = bushy_variants(tree, base, bound.join_edges, card)
+    scores = [bushiness(v) for v in variants]
+    assert scores == sorted(scores)
+    assert scores[0] == 0  # left-deep
+    assert scores[-1] >= 1  # at least one genuinely bushy variant
+
+
+def test_variants_cover_all_tables(q5_setup):
+    bound, card, base, tree = q5_setup
+    for variant in bushy_variants(tree, base, bound.join_edges, card):
+        assert variant.tables() == tree.tables()
+
+
+def test_variants_have_connected_joins(q5_setup):
+    bound, card, base, tree = q5_setup
+
+    def check(node):
+        if isinstance(node, JoinTree):
+            assert node.edges, "join node must have connecting edges"
+            check(node.left)
+            check(node.right)
+
+    for variant in bushy_variants(tree, base, bound.join_edges, card):
+        check(variant)
+
+
+def test_bushy_reduces_depth(q5_setup):
+    bound, card, base, tree = q5_setup
+    variants = bushy_variants(tree, base, bound.join_edges, card)
+    depths = [tree_depth(v) for v in variants]
+    assert min(depths[1:], default=depths[0]) < depths[0]
+
+
+def test_estimate_tree_consistent(q5_setup):
+    bound, card, base, tree = q5_setup
+    rel = estimate_tree(tree, base, card)
+    assert rel.tables == tree.tables()
+    assert rel.rows >= 0
+
+
+def test_expansion_limit_prunes(q5_setup):
+    bound, card, base, tree = q5_setup
+    strict = bushy_variants(
+        tree, base, bound.join_edges, card, expansion_limit=1e-9
+    )
+    loose = bushy_variants(
+        tree, base, bound.join_edges, card, expansion_limit=1e9
+    )
+    assert len(strict) <= len(loose)
+    assert len(strict) == 1  # only the original survives an impossible limit

@@ -1,0 +1,117 @@
+import pytest
+
+from repro.optimizer.cardinality import CardinalityEstimator, _filtered_ndv
+from repro.plan.expressions import BinaryOp, ColumnRef, InList, Literal, UnaryOp, make_and
+from repro.sql.binder import JoinEdge
+
+
+@pytest.fixture(scope="module")
+def card(tpch_db):
+    return CardinalityEstimator(tpch_db.catalog)
+
+
+def test_no_predicate_full_selectivity(card):
+    assert card.selectivity("orders", None) == 1.0
+
+
+def test_range_selectivity_accuracy(card, tpch_db):
+    # o_totalprice uniform in [850, 450000]; predicate selects ~half.
+    predicate = BinaryOp("<", ColumnRef("o_totalprice", "orders"), Literal(225_000))
+    selectivity = card.selectivity("orders", predicate)
+    assert selectivity == pytest.approx(0.5, abs=0.05)
+
+
+def test_conjunct_independence(card):
+    p1 = BinaryOp("<", ColumnRef("o_totalprice", "orders"), Literal(225_000))
+    p2 = BinaryOp(">=", ColumnRef("o_totalprice", "orders"), Literal(225_000))
+    combined = make_and([p1, p2])
+    sel = card.selectivity("orders", combined)
+    # Independence multiplies: ~0.25 even though truly disjoint.
+    assert sel == pytest.approx(0.25, abs=0.05)
+
+
+def test_or_selectivity(card):
+    p1 = BinaryOp("<", ColumnRef("o_totalprice", "orders"), Literal(100_000))
+    p2 = BinaryOp(">", ColumnRef("o_totalprice", "orders"), Literal(400_000))
+    either = BinaryOp("or", p1, p2)
+    sel = card.selectivity("orders", either)
+    lone = card.selectivity("orders", p1)
+    assert sel > lone
+
+
+def test_not_selectivity(card):
+    p = BinaryOp("<", ColumnRef("o_totalprice", "orders"), Literal(225_000))
+    inverted = UnaryOp("not", p)
+    assert card.selectivity("orders", inverted) == pytest.approx(
+        1.0 - card.selectivity("orders", p), abs=1e-9
+    )
+
+
+def test_equality_selectivity_low_cardinality(card):
+    p = BinaryOp("=", ColumnRef("l_returnflag", "lineitem"), Literal(0))
+    sel = card.selectivity("lineitem", p)
+    assert sel == pytest.approx(1.0 / 3.0, abs=0.1)
+
+
+def test_in_list_selectivity(card):
+    p = InList(ColumnRef("l_shipmode", "lineitem"), (0, 1))
+    sel = card.selectivity("lineitem", p)
+    assert sel == pytest.approx(2.0 / 7.0, abs=0.1)
+
+
+def test_base_relation_rows_and_width(card, tpch_db):
+    rel = card.base_relation("orders", None, ("o_orderkey", "o_totalprice"))
+    assert rel.rows == tpch_db.catalog.table("orders").row_count
+    assert rel.width_bytes == 16.0
+    assert rel.column_ndv("o_orderkey") == rel.rows
+
+
+def test_join_estimate_fk_pk(card, tpch_db):
+    lineitem = card.base_relation("lineitem", None, ("l_orderkey",))
+    orders = card.base_relation("orders", None, ("o_orderkey",))
+    edge = JoinEdge(
+        left=ColumnRef("l_orderkey", "lineitem"),
+        right=ColumnRef("o_orderkey", "orders"),
+    )
+    joined = card.join(lineitem, orders, [edge])
+    # FK-PK join keeps lineitem cardinality (approximately).
+    true_rows = tpch_db.catalog.table("lineitem").row_count
+    assert joined.rows == pytest.approx(true_rows, rel=0.15)
+    assert joined.tables == frozenset({"lineitem", "orders"})
+
+
+def test_group_count_capped_by_rows(card):
+    rel = card.base_relation("lineitem", None, ("l_returnflag", "l_shipmode"))
+    groups = card.group_count(rel, ("l_returnflag", "l_shipmode"))
+    assert groups <= 21 + 1  # 3 flags x 7 modes
+
+
+def test_partition_fraction_clustered(card, tpch_db):
+    # lineitem is clustered on l_shipdate in the fixture.
+    predicate = make_and(
+        [
+            BinaryOp(">=", ColumnRef("l_shipdate", "lineitem"), Literal(9131)),
+            BinaryOp("<", ColumnRef("l_shipdate", "lineitem"), Literal(9200)),
+        ]
+    )
+    fraction = card.scan_partition_fraction("lineitem", predicate)
+    assert fraction < 0.3
+
+
+def test_partition_fraction_unclustered_column(card):
+    predicate = BinaryOp(">", ColumnRef("l_quantity", "lineitem"), Literal(49))
+    assert card.scan_partition_fraction("lineitem", predicate) == 1.0
+
+
+def test_partition_fraction_no_clustering(card):
+    predicate = BinaryOp(">", ColumnRef("c_acctbal", "customer"), Literal(0))
+    assert card.scan_partition_fraction("customer", predicate) == 1.0
+
+
+def test_filtered_ndv_bounds():
+    assert _filtered_ndv(100, 1000, 1.0) == 100
+    assert _filtered_ndv(100, 1000, 0.0) == 1.0
+    mid = _filtered_ndv(100, 1000, 0.3)
+    assert 1.0 <= mid <= 100
+    # With 10 rows per value, a 30% filter keeps most values.
+    assert mid > 90

@@ -1,0 +1,145 @@
+import pytest
+
+from repro.optimizer.dag_planner import DagPlanner
+from repro.plan.physical import (
+    AggMode,
+    ExchangeKind,
+    PhysAggregate,
+    PhysExchange,
+    PhysHashJoin,
+    PhysScan,
+    PhysSort,
+    walk_physical,
+)
+from repro.workloads.tpch_queries import instantiate
+
+
+def nodes_of(plan, cls):
+    return [n for n in walk_physical(plan) if isinstance(n, cls)]
+
+
+def test_root_is_gather(tpch_binder, tpch_planner):
+    plan = tpch_planner.plan(tpch_binder.bind_sql("SELECT o_orderkey FROM orders"))
+    assert isinstance(plan, PhysExchange)
+    assert plan.kind is ExchangeKind.GATHER
+
+
+def test_small_build_broadcast(tpch_binder, tpch_planner):
+    plan = tpch_planner.plan(
+        tpch_binder.bind_sql(
+            "SELECT n_name, c_acctbal FROM customer, nation "
+            "WHERE c_nationkey = n_nationkey"
+        )
+    )
+    joins = nodes_of(plan, PhysHashJoin)
+    assert len(joins) == 1
+    assert joins[0].broadcast_build  # nation is tiny
+    # Build side is nation (smaller).
+    build_scans = nodes_of(joins[0].build, PhysScan)
+    assert build_scans[0].table == "nation"
+
+
+def test_large_join_shuffles_both_sides(big_binder, big_planner):
+    plan = big_planner.plan(
+        big_binder.bind_sql(
+            "SELECT count(*) AS c FROM orders, lineitem WHERE o_orderkey = l_orderkey"
+        )
+    )
+    joins = nodes_of(plan, PhysHashJoin)
+    assert len(joins) == 1
+    assert not joins[0].broadcast_build
+    shuffles = nodes_of(plan, PhysExchange)
+    shuffle_keys = {
+        e.keys for e in shuffles if e.kind is ExchangeKind.SHUFFLE
+    }
+    assert ("o_orderkey",) in shuffle_keys
+    assert ("l_orderkey",) in shuffle_keys
+
+
+def test_two_phase_aggregation(tpch_binder, tpch_planner):
+    plan = tpch_planner.plan(
+        tpch_binder.bind_sql(
+            "SELECT l_returnflag, sum(l_quantity) AS q FROM lineitem GROUP BY l_returnflag"
+        )
+    )
+    aggs = nodes_of(plan, PhysAggregate)
+    modes = {a.mode for a in aggs}
+    assert AggMode.PARTIAL in modes and AggMode.FINAL in modes
+
+
+def test_single_phase_agg_when_partitioned_on_group_key(big_binder, big_planner):
+    # Group key == shuffle key from the join: no second shuffle needed.
+    plan = big_planner.plan(
+        big_binder.bind_sql(
+            "SELECT l_orderkey, count(*) AS c FROM orders, lineitem "
+            "WHERE o_orderkey = l_orderkey GROUP BY l_orderkey"
+        )
+    )
+    aggs = nodes_of(plan, PhysAggregate)
+    assert [a.mode for a in aggs] == [AggMode.SINGLE]
+
+
+def test_global_agg_gathers_partials(tpch_binder, tpch_planner):
+    plan = tpch_planner.plan(
+        tpch_binder.bind_sql("SELECT count(*) AS c FROM lineitem")
+    )
+    gathers = [
+        e
+        for e in nodes_of(plan, PhysExchange)
+        if e.kind is ExchangeKind.GATHER
+    ]
+    assert len(gathers) == 2  # partial->final gather + result gather
+
+
+def test_scan_pushdown_and_projection(tpch_binder, tpch_planner):
+    plan = tpch_planner.plan(
+        tpch_binder.bind_sql(
+            "SELECT sum(o_totalprice) AS s FROM orders WHERE o_totalprice > 100000"
+        )
+    )
+    scans = nodes_of(plan, PhysScan)
+    assert len(scans) == 1
+    assert scans[0].predicate is not None
+    assert scans[0].columns == ("o_totalprice",)
+    assert scans[0].est_rows < scans[0].input_rows
+
+
+def test_scan_partition_fraction_on_clustered_column(tpch_binder, tpch_planner):
+    plan = tpch_planner.plan(
+        tpch_binder.bind_sql(
+            "SELECT count(*) AS c FROM lineitem "
+            "WHERE l_shipdate >= DATE '1995-01-01' AND l_shipdate < DATE '1995-02-01'"
+        )
+    )
+    scan = nodes_of(plan, PhysScan)[0]
+    assert scan.partition_fraction < 0.5
+
+
+def test_sort_with_limit_becomes_topk(tpch_binder, tpch_planner):
+    plan = tpch_planner.plan(
+        tpch_binder.bind_sql(
+            "SELECT o_custkey, sum(o_totalprice) AS s FROM orders "
+            "GROUP BY o_custkey ORDER BY s DESC LIMIT 5"
+        )
+    )
+    sorts = nodes_of(plan, PhysSort)
+    assert len(sorts) == 1
+    assert sorts[0].limit == 5
+    assert sorts[0].est_rows == 5
+
+
+def test_estimates_annotated_everywhere(tpch_binder, tpch_planner):
+    plan = tpch_planner.plan(
+        tpch_binder.bind_sql(instantiate("q5_local_supplier", seed=1))
+    )
+    for node in walk_physical(plan):
+        assert node.est_rows >= 0
+        assert node.est_bytes >= 0
+
+
+def test_all_templates_plan(tpch_binder, tpch_planner):
+    from repro.workloads.tpch_queries import QUERY_TEMPLATES
+
+    for name in QUERY_TEMPLATES:
+        plan = tpch_planner.plan(tpch_binder.bind_sql(instantiate(name, seed=4)))
+        assert plan is not None

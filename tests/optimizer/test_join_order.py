@@ -1,0 +1,102 @@
+import pytest
+
+from repro.errors import OptimizerError
+from repro.optimizer.cardinality import CardinalityEstimator
+from repro.optimizer.join_order import JoinTree, Leaf, linearize, order_joins
+from repro.workloads.tpch_queries import instantiate
+
+
+@pytest.fixture(scope="module")
+def q5_parts(tpch_db, tpch_binder):
+    bound = tpch_binder.bind_sql(instantiate("q5_local_supplier", seed=3))
+    card = CardinalityEstimator(tpch_db.catalog)
+    base = {
+        ref.name: card.base_relation(
+            ref.name,
+            None,
+            tpch_db.catalog.table(ref.name).schema.column_names,
+        )
+        for ref in bound.tables
+    }
+    return bound, card, base
+
+
+def test_left_deep_dp_produces_connected_tree(q5_parts):
+    bound, card, base = q5_parts
+    tree, cost = order_joins(base, bound.join_edges, card, left_deep_only=True)
+    assert isinstance(tree, JoinTree)
+    assert tree.tables() == frozenset(t.name for t in bound.tables)
+    assert cost > 0
+    # Left-deep: right child of every join is a leaf.
+    node = tree
+    while isinstance(node, JoinTree):
+        assert isinstance(node.right, Leaf)
+        node = node.left
+
+
+def test_full_dp_no_worse_than_left_deep(q5_parts):
+    bound, card, base = q5_parts
+    _, left_deep_cost = order_joins(base, bound.join_edges, card, left_deep_only=True)
+    _, bushy_cost = order_joins(base, bound.join_edges, card, left_deep_only=False)
+    assert bushy_cost <= left_deep_cost + 1e-6
+
+
+def test_single_relation():
+    from repro.optimizer.cardinality import EstimatedRelation
+
+    base = {"t": EstimatedRelation(rows=10, ndv={}, width_bytes=8, tables=frozenset(["t"]))}
+    tree, cost = order_joins(base, [], None)
+    assert isinstance(tree, Leaf)
+    assert cost == 0.0
+
+
+def test_disconnected_graph_rejected(q5_parts):
+    bound, card, base = q5_parts
+    with pytest.raises(OptimizerError):
+        order_joins(base, [], card)
+
+
+def test_linearize_covers_all_tables(q5_parts):
+    bound, card, base = q5_parts
+    tree, _ = order_joins(base, bound.join_edges, card)
+    assert sorted(linearize(tree)) == sorted(base)
+
+
+def test_dp_matches_brute_force_small(tpch_db, tpch_binder):
+    """On a 3-relation query the DP must find the true C_out optimum."""
+    import itertools
+
+    bound = tpch_binder.bind_sql(
+        "SELECT count(*) AS c FROM customer, orders, nation "
+        "WHERE c_custkey = o_custkey AND c_nationkey = n_nationkey"
+    )
+    card = CardinalityEstimator(tpch_db.catalog)
+    base = {
+        ref.name: card.base_relation(
+            ref.name, None, tpch_db.catalog.table(ref.name).schema.column_names
+        )
+        for ref in bound.tables
+    }
+    _, dp_cost = order_joins(base, bound.join_edges, card, left_deep_only=True)
+
+    def tree_cost(order):
+        from repro.optimizer.join_order import connecting_edges
+
+        rel = base[order[0]]
+        merged = frozenset([order[0]])
+        total = 0.0
+        for table in order[1:]:
+            edges = connecting_edges(bound.join_edges, merged, frozenset([table]))
+            if not edges:
+                return None
+            rel = card.join(rel, base[table], list(edges))
+            merged = merged | {table}
+            total += rel.rows
+        return total
+
+    best = min(
+        cost
+        for perm in itertools.permutations(base)
+        if (cost := tree_cost(list(perm))) is not None
+    )
+    assert dp_cost == pytest.approx(best, rel=1e-9)

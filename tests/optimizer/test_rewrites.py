@@ -1,0 +1,64 @@
+from repro.optimizer.rewrites import fold_constants, simplify_predicate
+from repro.plan.expressions import (
+    BinaryOp,
+    ColumnRef,
+    FuncCall,
+    Literal,
+    UnaryOp,
+    conjuncts,
+    make_and,
+)
+
+
+def test_fold_arithmetic():
+    expr = BinaryOp("-", Literal(1), Literal(0.06))
+    folded = fold_constants(expr)
+    assert isinstance(folded, Literal)
+    assert folded.value == 0.94
+
+
+def test_fold_nested_in_column_expression():
+    expr = BinaryOp(
+        "*",
+        ColumnRef("x"),
+        BinaryOp("+", Literal(2), Literal(3)),
+    )
+    folded = fold_constants(expr)
+    assert isinstance(folded.right, Literal)
+    assert folded.right.value == 5
+
+
+def test_fold_unary_negation():
+    folded = fold_constants(UnaryOp("-", Literal(4)))
+    assert isinstance(folded, Literal) and folded.value == -4
+
+
+def test_fold_inside_function():
+    expr = FuncCall("abs", (BinaryOp("*", Literal(2), Literal(-3)),))
+    folded = fold_constants(expr)
+    assert isinstance(folded.args[0], Literal)
+
+
+def test_fold_leaves_columns_alone():
+    expr = BinaryOp("+", ColumnRef("x"), Literal(1))
+    assert fold_constants(expr) == expr
+
+
+def test_simplify_drops_always_true_marker():
+    always = BinaryOp(">=", ColumnRef("c"), Literal(-1))
+    real = BinaryOp(">", ColumnRef("c"), Literal(5))
+    simplified = simplify_predicate(make_and([always, real]))
+    assert conjuncts(simplified) == [real]
+
+
+def test_simplify_detects_unsatisfiable():
+    impossible = BinaryOp("<", ColumnRef("c"), Literal(-1))
+    real = BinaryOp(">", ColumnRef("c"), Literal(5))
+    simplified = simplify_predicate(make_and([real, impossible]))
+    assert simplified == impossible
+
+
+def test_simplify_all_true_returns_none():
+    always = BinaryOp(">=", ColumnRef("c"), Literal(-1))
+    assert simplify_predicate(always) is None
+    assert simplify_predicate(None) is None

@@ -1,0 +1,72 @@
+from repro.plan.expressions import BinaryOp, ColumnRef, InList, Literal, make_and
+from repro.plan.predicates import ColumnRange, extract_column_ranges, in_list_values
+
+
+def col(name):
+    return ColumnRef(name)
+
+
+def test_range_from_comparisons():
+    predicate = make_and(
+        [
+            BinaryOp(">=", col("a"), Literal(5)),
+            BinaryOp("<", col("a"), Literal(10)),
+            BinaryOp("=", col("b"), Literal(3)),
+        ]
+    )
+    ranges = extract_column_ranges(predicate)
+    assert ranges["a"].lo == 5 and ranges["a"].hi == 10
+    assert ranges["b"].lo == 3 and ranges["b"].hi == 3
+
+
+def test_flipped_orientation():
+    predicate = BinaryOp("<", Literal(7), col("a"))  # 7 < a  =>  a > 7
+    ranges = extract_column_ranges(predicate)
+    assert ranges["a"].lo == 7 and ranges["a"].hi is None
+
+
+def test_conflicting_bounds_tighten():
+    predicate = make_and(
+        [
+            BinaryOp(">=", col("a"), Literal(5)),
+            BinaryOp(">=", col("a"), Literal(8)),
+            BinaryOp("<=", col("a"), Literal(20)),
+            BinaryOp("<=", col("a"), Literal(12)),
+        ]
+    )
+    r = extract_column_ranges(predicate)["a"]
+    assert (r.lo, r.hi) == (8, 12)
+
+
+def test_empty_range_detection():
+    r = ColumnRange(lo=10, hi=5)
+    assert r.is_empty
+    assert not ColumnRange(lo=1, hi=2).is_empty
+    assert not ColumnRange().is_empty
+
+
+def test_non_simple_conjuncts_ignored():
+    predicate = make_and(
+        [
+            BinaryOp(
+                "or",
+                BinaryOp("=", col("a"), Literal(1)),
+                BinaryOp("=", col("a"), Literal(2)),
+            ),
+            BinaryOp(">", col("b"), Literal(0)),
+        ]
+    )
+    ranges = extract_column_ranges(predicate)
+    assert "a" not in ranges  # OR is not a sound range source
+    assert ranges["b"].lo == 0
+
+
+def test_none_predicate():
+    assert extract_column_ranges(None) == {}
+
+
+def test_in_list_values():
+    expr = InList(col("a"), (1, 2, 3))
+    assert in_list_values(expr) == ("a", (1.0, 2.0, 3.0))
+    assert in_list_values(InList(col("a"), (1,), negated=True)) is None
+    assert in_list_values(BinaryOp("=", col("a"), Literal(1))) is None

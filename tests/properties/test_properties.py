@@ -1,0 +1,181 @@
+"""Property-based tests (hypothesis) on core invariants."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.catalog.statistics import EquiDepthHistogram
+from repro.engine.batch import Batch
+from repro.engine.operators import execute_aggregate, execute_hash_join, execute_sort
+from repro.plan.expressions import AggCall, BinaryOp, ColumnRef, Literal
+from repro.util.pareto import ParetoPoint, dominates, pareto_frontier
+
+# ---------------------------------------------------------------------- #
+# Expression evaluation vs numpy oracle
+# ---------------------------------------------------------------------- #
+finite_floats = st.floats(
+    min_value=-1e6, max_value=1e6, allow_nan=False, allow_infinity=False
+)
+
+
+@given(
+    st.lists(finite_floats, min_size=1, max_size=50),
+    st.sampled_from(["+", "-", "*"]),
+    finite_floats,
+)
+def test_arithmetic_matches_numpy(values, op, constant):
+    arr = np.array(values)
+    expr = BinaryOp(op, ColumnRef("x"), Literal(constant))
+    expected = {"+": arr + constant, "-": arr - constant, "*": arr * constant}[op]
+    assert np.allclose(expr.evaluate({"x": arr}), expected, equal_nan=True)
+
+
+@given(
+    st.lists(finite_floats, min_size=1, max_size=50),
+    st.sampled_from(["<", "<=", ">", ">=", "=", "<>"]),
+    finite_floats,
+)
+def test_comparison_matches_numpy(values, op, constant):
+    arr = np.array(values)
+    expr = BinaryOp(op, ColumnRef("x"), Literal(constant))
+    ops = {
+        "<": arr < constant,
+        "<=": arr <= constant,
+        ">": arr > constant,
+        ">=": arr >= constant,
+        "=": arr == constant,
+        "<>": arr != constant,
+    }
+    assert np.array_equal(expr.evaluate({"x": arr}), ops[op])
+
+
+# ---------------------------------------------------------------------- #
+# Histogram invariants
+# ---------------------------------------------------------------------- #
+@given(
+    st.lists(finite_floats, min_size=1, max_size=500),
+    st.integers(min_value=1, max_value=64),
+)
+def test_histogram_mass_and_monotonicity(values, buckets):
+    arr = np.array(values)
+    histogram = EquiDepthHistogram.from_values(arr, buckets)
+    assert histogram.total_count == arr.size
+    # selectivity_le is monotone non-decreasing and bounded.
+    probes = np.linspace(arr.min() - 1, arr.max() + 1, 9)
+    sels = [histogram.selectivity_le(float(p)) for p in probes]
+    assert all(0.0 <= s <= 1.0 for s in sels)
+    assert all(b >= a - 1e-12 for a, b in zip(sels, sels[1:]))
+
+
+@given(st.lists(finite_floats, min_size=1, max_size=300))
+def test_histogram_range_full_domain(values):
+    arr = np.array(values)
+    histogram = EquiDepthHistogram.from_values(arr, 16)
+    assert histogram.selectivity_range(None, None) == 1.0
+
+
+# ---------------------------------------------------------------------- #
+# Pareto frontier invariants
+# ---------------------------------------------------------------------- #
+points_strategy = st.lists(
+    st.tuples(
+        st.floats(min_value=0.01, max_value=100, allow_nan=False),
+        st.floats(min_value=0.01, max_value=100, allow_nan=False),
+    ),
+    min_size=1,
+    max_size=60,
+)
+
+
+@given(points_strategy)
+def test_frontier_is_minimal_and_complete(raw):
+    points = [ParetoPoint(l, d) for l, d in raw]
+    frontier = pareto_frontier(points)
+    # Minimality: no frontier point dominates another.
+    for a in frontier:
+        for b in frontier:
+            assert not dominates(a, b)
+    # Completeness: every input point is dominated-or-equal by some
+    # frontier point.
+    for p in points:
+        assert any(
+            (f.latency, f.dollars) == (p.latency, p.dollars) or dominates(f, p)
+            for f in frontier
+        )
+
+
+# ---------------------------------------------------------------------- #
+# Engine invariants vs brute force
+# ---------------------------------------------------------------------- #
+small_ints = st.integers(min_value=0, max_value=8)
+
+
+@given(
+    st.lists(small_ints, min_size=0, max_size=40),
+    st.lists(small_ints, min_size=0, max_size=40),
+)
+@settings(max_examples=60)
+def test_join_matches_brute_force(build_keys, probe_keys):
+    build = Batch({"k": np.array(build_keys, dtype=np.int64)})
+    probe = Batch({"p": np.array(probe_keys, dtype=np.int64)})
+    out = execute_hash_join(build, probe, (ColumnRef("k"),), (ColumnRef("p"),))
+    expected = sum(build_keys.count(p) for p in probe_keys)
+    assert out.num_rows == expected
+    if out.num_rows:
+        assert np.array_equal(out.column("k"), out.column("p"))
+
+
+@given(st.lists(st.tuples(small_ints, finite_floats), min_size=1, max_size=60))
+@settings(max_examples=60)
+def test_group_sum_matches_brute_force(rows):
+    keys = np.array([k for k, _ in rows], dtype=np.int64)
+    vals = np.array([v for _, v in rows])
+    batch = Batch({"g": keys, "x": vals})
+    out = execute_aggregate(
+        batch, (ColumnRef("g"),), (AggCall("sum", ColumnRef("x")),), ("s",)
+    )
+    expected = {}
+    for k, v in rows:
+        expected[k] = expected.get(k, 0.0) + v
+    got = dict(zip(out.column("g").tolist(), out.column("s").tolist()))
+    assert set(got) == set(expected)
+    for k in expected:
+        assert got[k] == np.float64(expected[k]) or abs(got[k] - expected[k]) < 1e-6 * max(1, abs(expected[k]))
+
+
+@given(st.lists(finite_floats, min_size=0, max_size=60))
+def test_sort_is_sorted_permutation(values):
+    batch = Batch({"x": np.array(values)})
+    out = execute_sort(batch, ("x",), (True,))
+    result = out.column("x")
+    assert np.array_equal(np.sort(np.array(values)), result)
+
+
+# ---------------------------------------------------------------------- #
+# Billing invariants
+# ---------------------------------------------------------------------- #
+@given(
+    st.lists(
+        st.tuples(
+            st.floats(min_value=0, max_value=100, allow_nan=False),
+            st.floats(min_value=0, max_value=100, allow_nan=False),
+        ),
+        min_size=1,
+        max_size=20,
+    )
+)
+def test_billing_additive_and_nonnegative(intervals):
+    from repro.compute.billing import BillingMeter
+    from repro.compute.node import node_spec
+    from repro.compute.pricing import PriceModel
+
+    meter = BillingMeter(PriceModel(minimum_billed_seconds=0.0))
+    spec = node_spec("standard")
+    total = 0.0
+    for start, duration in intervals:
+        lease = meter.open_lease(spec, start)
+        meter.close_lease(lease, start + duration)
+        total += duration
+    report = meter.breakdown()
+    assert report.machine_seconds >= 0
+    assert abs(report.machine_seconds - total) < 1e-6
+    assert report.compute_dollars >= 0

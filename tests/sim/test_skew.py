@@ -1,0 +1,44 @@
+import numpy as np
+import pytest
+
+from repro.errors import ReproError
+from repro.sim.skew import skew_multiplier, zipf_shares
+
+
+def test_shares_sum_to_one():
+    for dop in (1, 2, 7, 64):
+        assert zipf_shares(dop, 0.8).sum() == pytest.approx(1.0)
+
+
+def test_zero_exponent_uniform():
+    shares = zipf_shares(16, 0.0)
+    assert np.allclose(shares, 1.0 / 16)
+
+
+def test_higher_exponent_more_skew():
+    mild = zipf_shares(16, 0.3).max()
+    heavy = zipf_shares(16, 1.5).max()
+    assert heavy > mild
+
+
+def test_multiplier_one_at_dop_one():
+    assert skew_multiplier(1, 2.0) == pytest.approx(1.0)
+
+
+def test_multiplier_grows_with_dop():
+    assert skew_multiplier(32, 0.6) > skew_multiplier(4, 0.6) > 1.0
+
+
+def test_multiplier_uniform_is_one():
+    assert skew_multiplier(16, 0.0) == pytest.approx(1.0)
+
+
+def test_rng_jitter_deterministic():
+    a = zipf_shares(8, 0.5, np.random.default_rng(3))
+    b = zipf_shares(8, 0.5, np.random.default_rng(3))
+    assert np.array_equal(a, b)
+
+
+def test_invalid_dop():
+    with pytest.raises(ReproError):
+        zipf_shares(0, 0.5)

@@ -1,0 +1,177 @@
+"""Statistics Service: logs, summaries, join graph, forecasts, sampling."""
+
+import pytest
+
+from repro.errors import ReproError
+from repro.statsvc.forecast import WorkloadForecaster
+from repro.statsvc.join_graph import JoinGraph
+from repro.statsvc.logs import QueryLogStore, QueryRecord
+from repro.statsvc.sampling import StatsServiceCostModel, summary_error
+from repro.statsvc.summaries import build_summary
+
+
+def record(
+    query_id,
+    timestamp,
+    template="t1",
+    tables=("orders", "lineitem"),
+    dollars=0.01,
+):
+    return QueryRecord(
+        query_id=query_id,
+        timestamp=timestamp,
+        sql="SELECT ...",
+        template=template,
+        tables=tables,
+        columns=tuple(f"{t}.key" for t in tables),
+        join_edges=(("orders.o_orderkey", "lineitem.l_orderkey"),)
+        if len(tables) > 1
+        else (),
+        filter_columns=("o_orderdate",),
+        latency_s=1.0,
+        machine_seconds=4.0,
+        dollars=dollars,
+        bytes_scanned=1e6,
+        sla_seconds=5.0,
+    )
+
+
+@pytest.fixture()
+def store():
+    store = QueryLogStore()
+    for i in range(100):
+        store.append(record(i, float(i * 60), template="t1" if i % 2 else "t2"))
+    return store
+
+
+def test_log_ordering_enforced():
+    store = QueryLogStore()
+    store.append(record(1, 100.0))
+    with pytest.raises(ReproError):
+        store.append(record(2, 50.0))
+
+
+def test_log_window(store):
+    window = store.window(0.0, 600.0)
+    assert len(window) == 10
+    assert store.horizon == (0.0, 99 * 60.0)
+
+
+def test_log_by_template(store):
+    grouped = store.by_template()
+    assert set(grouped) == {"t1", "t2"}
+    assert len(grouped["t1"]) == 50
+
+
+def test_sla_met_property():
+    r = record(1, 0.0)
+    assert r.sla_met is True
+
+
+# --------------------------- summaries -------------------------------- #
+def test_summary_counts(store):
+    summary = build_summary(list(store))
+    assert summary.num_queries == 100
+    assert summary.table_access["orders"] == 100
+    assert summary.attribute_access["orders.key"] == 100
+    assert summary.template_counts["t1"] == 50
+    assert summary.total_dollars == pytest.approx(1.0)
+
+
+def test_summary_rates(store):
+    summary = build_summary(list(store))
+    assert summary.queries_per_hour == pytest.approx(
+        100 * 3600 / (99 * 60), rel=0.01
+    )
+    assert summary.template_rate_per_hour("t1") == pytest.approx(
+        50 * 3600 / (99 * 60), rel=0.01
+    )
+
+
+def test_sampled_summary_approximates(store):
+    reference = build_summary(list(store))
+    sampled = build_summary(list(store), sample_rate=0.5, seed=1)
+    errors = summary_error(reference, sampled)
+    assert errors["attribute_access"] < 0.5
+    assert errors["template_counts"] < 0.5
+
+
+def test_lower_sampling_rate_higher_error(store):
+    reference = build_summary(list(store))
+    mild = summary_error(reference, build_summary(list(store), sample_rate=0.8, seed=3))
+    harsh = summary_error(reference, build_summary(list(store), sample_rate=0.05, seed=3))
+    assert harsh["attribute_access"] >= mild["attribute_access"]
+
+
+def test_invalid_sample_rate(store):
+    with pytest.raises(ReproError):
+        build_summary(list(store), sample_rate=0.0)
+
+
+# --------------------------- join graph ------------------------------- #
+def test_join_graph_weights(store):
+    graph = JoinGraph.from_records(list(store))
+    assert graph.edge_count("orders.o_orderkey", "lineitem.l_orderkey") == 100
+    hottest = graph.hottest_edges(1)
+    assert hottest[0].count == 100
+    assert graph.tables() == {"orders", "lineitem"}
+
+
+def test_join_graph_groups(store):
+    graph = JoinGraph.from_records(list(store))
+    groups = graph.connected_table_groups()
+    assert {"orders", "lineitem"} in groups
+
+
+# --------------------------- forecasting ------------------------------ #
+def test_periodic_template_detected():
+    store = QueryLogStore()
+    for i in range(20):
+        store.append(record(i, float(i) * 3600.0, template="daily"))
+    forecaster = WorkloadForecaster()
+    forecast = forecaster.forecast(store)["daily"]
+    assert forecast.periodic
+    assert forecast.period_s == pytest.approx(3600.0, rel=0.01)
+    assert forecast.rate_per_hour == pytest.approx(1.0, rel=0.05)
+
+
+def test_poisson_template_not_periodic():
+    import numpy as np
+
+    rng = np.random.default_rng(0)
+    times = np.cumsum(rng.exponential(600.0, size=200))
+    store = QueryLogStore()
+    for i, t in enumerate(times):
+        store.append(record(i, float(t), template="adhoc"))
+    forecast = WorkloadForecaster().forecast(store)["adhoc"]
+    assert not forecast.periodic
+    # ~6 arrivals/hour
+    assert forecast.rate_per_hour == pytest.approx(6.0, rel=0.8)
+
+
+def test_forecast_dollar_rate():
+    store = QueryLogStore()
+    for i in range(10):
+        store.append(record(i, float(i) * 1800.0, template="t", dollars=0.5))
+    forecast = WorkloadForecaster().forecast(store)["t"]
+    assert forecast.dollars_per_hour == pytest.approx(
+        forecast.rate_per_hour * 0.5
+    )
+
+
+# --------------------------- cost model ------------------------------- #
+def test_stats_service_cost_scales_with_rate(store):
+    model = StatsServiceCostModel()
+    summary = build_summary(list(store))
+    full = model.total_dollars_per_hour(summary, records_per_hour=10_000)
+    sampled_summary = build_summary(list(store), sample_rate=0.1)
+    sampled = model.total_dollars_per_hour(sampled_summary, records_per_hour=10_000)
+    assert sampled < full
+
+
+def test_tiering_cheaper_with_more_cold(store):
+    model = StatsServiceCostModel()
+    summary = build_summary(list(store))
+    hot = model.storage_dollars_per_hour(summary, hot_fraction=1.0)
+    cold = model.storage_dollars_per_hour(summary, hot_fraction=0.0)
+    assert cold < hot

@@ -1,0 +1,63 @@
+import numpy as np
+import pytest
+
+from repro.catalog.schema import Column, DataType, TableSchema
+from repro.errors import StorageError
+from repro.storage.micropartition import COMPRESSION_RATIO, MicroPartition, ZoneMap
+
+SCHEMA = TableSchema(
+    "t",
+    (Column("a", DataType.INT64), Column("b", DataType.FLOAT64)),
+)
+
+
+def make_partition(lo=0, hi=100):
+    return MicroPartition(
+        SCHEMA,
+        {"a": np.arange(lo, hi), "b": np.linspace(0.0, 1.0, hi - lo)},
+    )
+
+
+def test_zone_maps_built_for_numeric_columns():
+    part = make_partition(10, 20)
+    assert part.zone_maps["a"] == ZoneMap(min_value=10, max_value=19)
+    assert part.row_count == 10
+
+
+def test_ragged_columns_rejected():
+    with pytest.raises(StorageError):
+        MicroPartition(SCHEMA, {"a": np.arange(5), "b": np.arange(6.0)})
+
+
+def test_zone_map_range_checks():
+    zone = ZoneMap(min_value=10, max_value=20)
+    assert zone.may_contain_range(15, 25)
+    assert zone.may_contain_range(None, 10)
+    assert not zone.may_contain_range(21, None)
+    assert not zone.may_contain_range(None, 9)
+    assert zone.may_contain_eq(10)
+    assert not zone.may_contain_eq(9.99)
+
+
+def test_prunable_by_range():
+    part = make_partition(0, 100)
+    assert part.prunable_by_range("a", 200, 300)
+    assert not part.prunable_by_range("a", 50, 60)
+    # Unknown column: never prunable (no zone map evidence).
+    assert not part.prunable_by_range("zz", 0, 1)
+
+
+def test_byte_sizes():
+    part = make_partition(0, 100)
+    assert part.uncompressed_bytes() == 100 * 16
+    assert part.uncompressed_bytes(("a",)) == 100 * 8
+    assert part.stored_bytes() == int(100 * 16 / COMPRESSION_RATIO)
+
+
+def test_column_access_and_projection():
+    part = make_partition(0, 10)
+    assert part.column("a")[0] == 0
+    proj = part.project(("b",))
+    assert set(proj) == {"b"}
+    with pytest.raises(StorageError):
+        part.column("missing")

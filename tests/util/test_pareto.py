@@ -1,0 +1,79 @@
+import pytest
+
+from repro.util.pareto import (
+    ParetoPoint,
+    distance_to_frontier,
+    dominates,
+    hypervolume,
+    pareto_frontier,
+)
+
+
+def P(latency, dollars, payload=None):
+    return ParetoPoint(latency=latency, dollars=dollars, payload=payload)
+
+
+def test_dominates_strict():
+    assert dominates(P(1, 1), P(2, 2))
+    assert dominates(P(1, 2), P(2, 2))
+    assert not dominates(P(2, 2), P(1, 1))
+
+
+def test_dominates_requires_strict_improvement():
+    assert not dominates(P(1, 1), P(1, 1))
+
+
+def test_dominates_incomparable():
+    assert not dominates(P(1, 3), P(3, 1))
+    assert not dominates(P(3, 1), P(1, 3))
+
+
+def test_frontier_removes_dominated():
+    points = [P(1, 5), P(2, 2), P(3, 3), P(1.5, 4), P(4, 2.5)]
+    frontier = pareto_frontier(points)
+    assert [(p.latency, p.dollars) for p in frontier] == [(1, 5), (1.5, 4), (2, 2)]
+
+
+def test_frontier_no_point_dominates_another():
+    points = [P(float(i), float(10 - i)) for i in range(10)] + [P(5, 5), P(2, 9.5)]
+    frontier = pareto_frontier(points)
+    for a in frontier:
+        for b in frontier:
+            assert not dominates(a, b)
+
+
+def test_frontier_keeps_payload():
+    frontier = pareto_frontier([P(1, 2, "a"), P(2, 3, "b")])
+    assert frontier[0].payload == "a"
+    assert len(frontier) == 1
+
+
+def test_frontier_same_latency_keeps_cheaper():
+    frontier = pareto_frontier([P(1, 5), P(1, 3)])
+    assert len(frontier) == 1
+    assert frontier[0].dollars == 3
+
+
+def test_hypervolume_positive_and_monotone():
+    small = hypervolume([P(2, 2)], ref_latency=10, ref_dollars=10)
+    bigger = hypervolume([P(1, 1)], ref_latency=10, ref_dollars=10)
+    assert 0 < small < bigger
+
+
+def test_hypervolume_ignores_points_beyond_reference():
+    assert hypervolume([P(20, 20)], ref_latency=10, ref_dollars=10) == 0.0
+
+
+def test_distance_to_frontier_zero_on_frontier():
+    frontier = pareto_frontier([P(1, 5), P(2, 2)])
+    assert distance_to_frontier(P(2, 2), frontier) == pytest.approx(0.0)
+
+
+def test_distance_to_frontier_positive_off_frontier():
+    frontier = pareto_frontier([P(1, 5), P(2, 2)])
+    assert distance_to_frontier(P(3, 5), frontier) > 0
+
+
+def test_distance_requires_frontier():
+    with pytest.raises(ValueError):
+        distance_to_frontier(P(1, 1), [])

@@ -1,0 +1,28 @@
+import numpy as np
+
+from repro.util.rng import derive_rng
+
+
+def test_same_labels_same_stream():
+    a = derive_rng(42, "x", "y").random(8)
+    b = derive_rng(42, "x", "y").random(8)
+    assert np.array_equal(a, b)
+
+
+def test_different_labels_differ():
+    a = derive_rng(42, "x").random(8)
+    b = derive_rng(42, "y").random(8)
+    assert not np.array_equal(a, b)
+
+
+def test_different_seeds_differ():
+    a = derive_rng(1, "x").random(8)
+    b = derive_rng(2, "x").random(8)
+    assert not np.array_equal(a, b)
+
+
+def test_label_path_not_concatenation_ambiguous():
+    # ("ab", "c") must differ from ("a", "bc")
+    a = derive_rng(0, "ab", "c").random(4)
+    b = derive_rng(0, "a", "bc").random(4)
+    assert not np.array_equal(a, b)

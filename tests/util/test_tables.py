@@ -1,0 +1,33 @@
+import pytest
+
+from repro.util.tables import TextTable
+
+
+def test_render_alignment():
+    table = TextTable(["a", "bbbb"], title="t")
+    table.add_row([1, 2])
+    table.add_row(["long-cell", 3])
+    out = table.render()
+    lines = out.splitlines()
+    assert lines[0] == "t"
+    assert "a" in lines[1] and "bbbb" in lines[1]
+    widths = {len(line) for line in lines[1:]}
+    assert len(widths) == 1  # all rows padded to the same width
+
+
+def test_float_formatting():
+    table = TextTable(["x"])
+    table.add_row([1.23456789])
+    assert "1.235" in table.render()
+
+
+def test_wrong_arity_rejected():
+    table = TextTable(["a", "b"])
+    with pytest.raises(ValueError):
+        table.add_row([1])
+
+
+def test_str_dunder():
+    table = TextTable(["a"])
+    table.add_row(["v"])
+    assert str(table) == table.render()

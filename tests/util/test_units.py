@@ -1,0 +1,37 @@
+from repro.util.units import GB, KB, MB, TB, fmt_bytes, fmt_dollars, fmt_duration, fmt_rate
+
+
+def test_unit_constants_are_powers_of_1024():
+    assert KB == 1024
+    assert MB == KB * 1024
+    assert GB == MB * 1024
+    assert TB == GB * 1024
+
+
+def test_fmt_bytes_picks_largest_unit():
+    assert fmt_bytes(512) == "512 B"
+    assert fmt_bytes(1536) == "1.50 KB"
+    assert fmt_bytes(3 * GB) == "3.00 GB"
+    assert fmt_bytes(2.5 * TB) == "2.50 TB"
+
+
+def test_fmt_duration_scales():
+    assert fmt_duration(0.0015).endswith("ms")
+    assert fmt_duration(12.0) == "12.00 s"
+    assert fmt_duration(600.0) == "10.0 min"
+    assert fmt_duration(7200.0).endswith("h")
+
+
+def test_fmt_duration_negative():
+    assert fmt_duration(-5.0) == "-5.00 s"
+
+
+def test_fmt_dollars_subcent_precision():
+    assert fmt_dollars(0.0004) == "$0.0004"
+    assert fmt_dollars(12.5) == "$12.50"
+    assert fmt_dollars(0.0) == "$0.00"
+    assert fmt_dollars(1234.5) == "$1,234.50"
+
+
+def test_fmt_rate():
+    assert fmt_rate(250 * MB) == "250.00 MB/s"
