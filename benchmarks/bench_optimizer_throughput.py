@@ -1,0 +1,204 @@
+"""Optimizer throughput: queries-optimized-per-second over the TPC-H pool.
+
+A/B of the estimation hot path:
+
+- **baseline**: uncached estimator + naive DOP search (every candidate
+  move re-times every pipeline) — the pre-overhaul behavior, kept behind
+  ``CostEstimator(enable_cache=False)`` / ``DopPlanner(incremental=False)``;
+- **cached**: memoized volumes/timings + incremental DAG re-costing
+  (one new timing per candidate move, cheap ASAP re-schedule).
+
+Reports mean ``optimize()`` wall time, optimizer throughput, and actual
+timing-model evaluations, then writes ``BENCH_optimizer.json`` next to
+the repo root so the perf trajectory is tracked across PRs.  The two
+paths must agree bit-for-bit on estimates and chosen plans (also
+enforced by ``tests/cost/test_estimation_parity.py``); this script
+re-checks as a guard.
+
+Usage::
+
+    python benchmarks/bench_optimizer_throughput.py           # full pool
+    python benchmarks/bench_optimizer_throughput.py --quick   # CI smoke
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+if str(REPO_ROOT / "src") not in sys.path:
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.core.bioptimizer import BiObjectiveOptimizer  # noqa: E402
+from repro.cost.estimator import CostEstimator  # noqa: E402
+from repro.dop.constraints import budget_constraint, sla_constraint  # noqa: E402
+from repro.sql.binder import Binder  # noqa: E402
+from repro.workloads.tpch_queries import instantiate, template_names  # noqa: E402
+from repro.workloads.tpch_stats import synthetic_tpch_catalog  # noqa: E402
+
+SLA_SECONDS = 12.0
+BUDGET_DOLLARS = 0.05
+SPEEDUP_FLOOR = 3.0
+TIMING_REDUCTION_FLOOR = 5.0
+
+
+def run_pool(catalog, bounds, constraints, *, cached: bool, rounds: int) -> dict:
+    """Optimize the whole pool ``rounds`` times; return aggregate metrics.
+
+    One untimed warmup pass precedes measurement: the serving-layer
+    metric is steady-state throughput, not interpreter/allocator warmup.
+    """
+    estimator = CostEstimator(enable_cache=cached)
+    optimizer = BiObjectiveOptimizer(
+        catalog, estimator, max_dop=64, incremental_dop=cached
+    )
+    for bound in bounds:
+        for constraint in constraints:
+            optimizer.optimize(bound, constraint)
+    estimator.models.timing_computations = 0
+    choices = []
+    per_optimize: list[float] = []
+    start = time.perf_counter()
+    for _ in range(rounds):
+        choices = []
+        for bound in bounds:
+            for constraint in constraints:
+                t0 = time.perf_counter()
+                choices.append(optimizer.optimize(bound, constraint))
+                per_optimize.append(time.perf_counter() - t0)
+    wall = time.perf_counter() - start
+    optimizes = len(bounds) * len(constraints) * rounds
+    return {
+        "mode": "cached" if cached else "baseline",
+        "optimizes": optimizes,
+        "wall_s": wall,
+        "mean_optimize_s": sum(per_optimize) / len(per_optimize),
+        "optimizes_per_s": optimizes / wall,
+        "timing_evaluations": estimator.models.timing_computations,
+        "choices": choices,  # stripped before JSON
+    }
+
+
+def check_parity(baseline_choices, cached_choices) -> int:
+    """Count plan/estimate mismatches between the two paths."""
+    mismatches = 0
+    for a, b in zip(baseline_choices, cached_choices):
+        ea, eb = a.dop_plan.estimate, b.dop_plan.estimate
+        same = (
+            a.dop_plan.dops == b.dop_plan.dops
+            and a.variant_index == b.variant_index
+            and ea.latency == eb.latency
+            and ea.machine_seconds == eb.machine_seconds
+            and ea.dollars == eb.dollars
+            and ea.scan_request_dollars == eb.scan_request_dollars
+        )
+        mismatches += 0 if same else 1
+    return mismatches
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--quick", action="store_true", help="small pool + 1 round (CI smoke)"
+    )
+    parser.add_argument("--sf", type=float, default=100.0, help="stats scale factor")
+    parser.add_argument("--rounds", type=int, default=3, help="pool repetitions")
+    parser.add_argument(
+        "--seeds", type=int, default=3, help="parameter instantiations per template"
+    )
+    parser.add_argument(
+        "--output", default=str(REPO_ROOT / "BENCH_optimizer.json"),
+        help="where to write the JSON report",
+    )
+    parser.add_argument(
+        "--no-assert", action="store_true",
+        help="report only; do not enforce speedup floors",
+    )
+    args = parser.parse_args(argv)
+    if args.quick:
+        args.rounds = 1
+        args.seeds = 1
+    if args.seeds < 1 or args.rounds < 1:
+        parser.error("--seeds and --rounds must be >= 1")
+
+    catalog = synthetic_tpch_catalog(
+        args.sf, cluster_keys={"lineitem": "l_shipdate", "orders": "o_orderdate"}
+    )
+    binder = Binder(catalog)
+    names = template_names()
+    bounds = [
+        binder.bind_sql(instantiate(name, seed=seed))
+        for name in names
+        for seed in range(1, args.seeds + 1)
+    ]
+    constraints = [sla_constraint(SLA_SECONDS), budget_constraint(BUDGET_DOLLARS)]
+    print(
+        f"pool: {len(names)} templates x {args.seeds} seeds x "
+        f"{len(constraints)} constraints, SF {args.sf:g}, {args.rounds} round(s)"
+    )
+
+    baseline = run_pool(catalog, bounds, constraints, cached=False, rounds=args.rounds)
+    cached = run_pool(catalog, bounds, constraints, cached=True, rounds=args.rounds)
+    mismatches = check_parity(baseline.pop("choices"), cached.pop("choices"))
+
+    speedup = baseline["mean_optimize_s"] / cached["mean_optimize_s"]
+    reduction = baseline["timing_evaluations"] / max(1, cached["timing_evaluations"])
+    for result in (baseline, cached):
+        print(
+            f"{result['mode']:>8}: {result['optimizes_per_s']:8.1f} optimizes/s, "
+            f"mean {result['mean_optimize_s'] * 1e3:6.2f} ms, "
+            f"{result['timing_evaluations']:6d} timing evaluations"
+        )
+    print(
+        f"speedup {speedup:.2f}x wall, {reduction:.2f}x fewer timing evaluations, "
+        f"{mismatches} parity mismatches"
+    )
+
+    report = {
+        "benchmark": "optimizer_throughput",
+        "scale_factor": args.sf,
+        "templates": len(names),
+        "seeds": args.seeds,
+        "rounds": args.rounds,
+        "baseline": baseline,
+        "cached": cached,
+        "speedup_wall": speedup,
+        "timing_evaluation_reduction": reduction,
+        "parity_mismatches": mismatches,
+    }
+    Path(args.output).write_text(json.dumps(report, indent=2) + "\n")
+    print(f"wrote {args.output}")
+
+    if mismatches:
+        print("FAIL: cached path diverged from baseline plans/estimates")
+        return 1
+    if args.sf < 100.0 and not args.no_assert:
+        # Small catalogs shrink the DOP search (plans are cheap at DOP 1),
+        # so estimation is a smaller share of optimize time and the
+        # SF-100-calibrated floors don't apply.
+        print(f"note: floors calibrated for SF >= 100, skipping at SF {args.sf:g}")
+        return 0
+    if not args.no_assert:
+        if args.quick:
+            # One noisy round on a shared runner can't support a
+            # wall-clock assertion; quick mode gates on the
+            # deterministic metrics (evaluation counts + parity) only.
+            print("note: --quick skips the wall-speedup floor (single round)")
+        elif speedup < SPEEDUP_FLOOR:
+            print(f"FAIL: wall speedup {speedup:.2f}x < {SPEEDUP_FLOOR}x floor")
+            return 1
+        if reduction < TIMING_REDUCTION_FLOOR:
+            print(
+                f"FAIL: timing-evaluation reduction {reduction:.2f}x "
+                f"< {TIMING_REDUCTION_FLOOR}x floor"
+            )
+            return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -75,6 +75,20 @@ class Catalog:
     def __init__(self) -> None:
         self._tables: dict[str, TableEntry] = {}
         self._views: dict[str, MaterializedViewDef] = {}
+        self._version = 0
+
+    @property
+    def version(self) -> int:
+        """Monotonic stats/schema version.
+
+        Bumped by every mutation (table registration, stats refresh,
+        reclustering, view changes); plan caches key on it so any change
+        to planner-visible metadata invalidates cached plans.
+        """
+        return self._version
+
+    def _bump_version(self) -> None:
+        self._version += 1
 
     # ------------------------------------------------------------------ #
     # Tables
@@ -84,11 +98,13 @@ class Catalog:
         if name in self._tables and not replace_existing:
             raise CatalogError(f"table {name!r} already registered")
         self._tables[name] = entry
+        self._bump_version()
 
     def drop_table(self, name: str) -> None:
         if name not in self._tables:
             raise CatalogError(f"unknown table {name!r}")
         del self._tables[name]
+        self._bump_version()
 
     def table(self, name: str) -> TableEntry:
         try:
@@ -109,6 +125,7 @@ class Catalog:
     def update_stats(self, name: str, stats: TableStats) -> None:
         entry = self.table(name)
         self._tables[name] = replace(entry, stats=stats)
+        self._bump_version()
 
     def set_clustering(self, name: str, key: str | None, depth: float) -> None:
         """Record a (re)clustering layout change for ``name``.
@@ -123,6 +140,7 @@ class Catalog:
             schema=entry.schema.with_clustering_key(key),
             clustering_depth=depth,
         )
+        self._bump_version()
 
     # ------------------------------------------------------------------ #
     # Materialized views
@@ -137,11 +155,13 @@ class Catalog:
         if view.name in self._views:
             raise CatalogError(f"materialized view {view.name!r} already exists")
         self._views[view.name] = view
+        self._bump_version()
 
     def drop_view(self, name: str) -> None:
         if name not in self._views:
             raise CatalogError(f"unknown materialized view {name!r}")
         del self._views[name]
+        self._bump_version()
 
     def views(self) -> Iterator[MaterializedViewDef]:
         return iter(self._views.values())
@@ -167,6 +187,7 @@ class Catalog:
         clone = Catalog()
         clone._tables = dict(self._tables)
         clone._views = dict(self._views)
+        clone._version = self._version
         return clone
 
     # ------------------------------------------------------------------ #

@@ -65,11 +65,14 @@ class BiObjectiveOptimizer:
         max_dop: int = 64,
         explore_bushy: bool = True,
         max_variants: int = 4,
+        incremental_dop: bool = True,
     ) -> None:
         self.catalog = catalog
         self.estimator = estimator or CostEstimator()
         self.dag_planner = DagPlanner(catalog)
-        self.dop_planner = DopPlanner(self.estimator, max_dop=max_dop)
+        self.dop_planner = DopPlanner(
+            self.estimator, max_dop=max_dop, incremental=incremental_dop
+        )
         self.explore_bushy = explore_bushy
         self.max_variants = max_variants
 

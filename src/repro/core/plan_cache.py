@@ -1,0 +1,104 @@
+"""Serving-layer plan cache for the cost-intelligent warehouse.
+
+Analytical traffic is dominated by recurring report templates — the same
+SQL shapes resubmitted with the same constraints.  Re-running the
+bi-objective optimizer for each arrival wastes exactly the machine time
+the paper's economics are about, so the warehouse memoizes the full
+:class:`~repro.core.bioptimizer.PlanChoice` keyed on:
+
+- the *normalized* SQL text (token stream: whitespace, letter case, and
+  comments do not fragment the cache),
+- the user constraint (SLA seconds or budget dollars), and
+- the catalog's stats version.
+
+The stats version inside the key is the invalidation story: any catalog
+mutation (stats refresh, recluster, MV creation, table DDL) bumps the
+version, so stale entries can never be served — they simply stop
+matching and age out of the LRU.  ``invalidate()`` exists for explicit
+flushes (e.g. hardware recalibration, which changes cost without
+touching the catalog).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import TYPE_CHECKING, Hashable
+
+from repro.sql.lexer import TokenType, tokenize
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.bioptimizer import PlanChoice
+    from repro.sql.binder import BoundQuery
+
+
+def normalize_sql(sql: str) -> tuple:
+    """Whitespace/case/comment-insensitive identity of a SQL text.
+
+    Returns the token stream as a hashable tuple of ``(kind, text)``
+    pairs; the lexer already lowercases keywords and identifiers and
+    drops comments, so formatting differences collapse to one key.
+    String and numeric literals keep their exact text — two queries with
+    different parameters are different plans.
+    """
+    return tuple(
+        (token.type.name, token.text)
+        for token in tokenize(sql)
+        if token.type is not TokenType.EOF
+    )
+
+
+class PlanCache:
+    """A bounded LRU of optimized plans.
+
+    Values are ``(bound_query, plan_choice)`` pairs: the bound query is
+    needed downstream for logging and template bookkeeping, and binding
+    is part of the work the cache amortizes.
+    """
+
+    def __init__(self, capacity: int = 256) -> None:
+        if capacity < 1:
+            raise ValueError(f"plan cache capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self._entries: OrderedDict[Hashable, tuple["BoundQuery", "PlanChoice"]] = (
+            OrderedDict()
+        )
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    # ------------------------------------------------------------------ #
+    def lookup(self, key: Hashable) -> tuple["BoundQuery", "PlanChoice"] | None:
+        found = self._entries.get(key)
+        if found is None:
+            self.misses += 1
+            return None
+        self._entries.move_to_end(key)
+        self.hits += 1
+        return found
+
+    def store(self, key: Hashable, bound: "BoundQuery", choice: "PlanChoice") -> None:
+        self._entries[key] = (bound, choice)
+        self._entries.move_to_end(key)
+        while len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+            self.evictions += 1
+
+    def invalidate(self) -> None:
+        """Drop every cached plan."""
+        self._entries.clear()
+
+    # ------------------------------------------------------------------ #
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def describe(self) -> str:
+        return (
+            f"plan cache: {len(self._entries)}/{self.capacity} entries, "
+            f"{self.hits} hits / {self.misses} misses "
+            f"({self.hit_rate:.0%}), {self.evictions} evictions"
+        )

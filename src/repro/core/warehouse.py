@@ -11,9 +11,11 @@ report, exactly the interaction model §2 calls for.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Iterable
 
 from repro.catalog.catalog import Catalog
 from repro.core.bioptimizer import BiObjectiveOptimizer, PlanChoice
+from repro.core.plan_cache import PlanCache, normalize_sql
 from repro.cost.estimator import CostEstimator
 from repro.cost.hardware import HardwareCalibration
 from repro.dop.constraints import Constraint
@@ -94,6 +96,7 @@ class CostIntelligentWarehouse:
         sim_config: SimConfig | None = None,
         max_dop: int = 64,
         explore_bushy: bool = True,
+        plan_cache_size: int = 256,
     ) -> None:
         if database is None and catalog is None:
             raise ReproError("provide a Database (with data) or a Catalog (stats-only)")
@@ -114,6 +117,11 @@ class CostIntelligentWarehouse:
         self.logs = QueryLogStore()
         self.clock = 0.0
         self._template_queries: dict[str, BoundQuery] = {}
+        #: Serving-layer plan cache keyed (normalized SQL, constraint,
+        #: stats version); ``plan_cache_size=0`` disables it.
+        self.plan_cache: PlanCache | None = (
+            PlanCache(plan_cache_size) if plan_cache_size > 0 else None
+        )
 
     # ------------------------------------------------------------------ #
     # Query path
@@ -129,19 +137,23 @@ class CostIntelligentWarehouse:
         execute_locally: bool = False,
         simulate: bool = True,
         truth: dict[int, float] | None = None,
+        use_plan_cache: bool = True,
     ) -> QueryOutcome:
         """Optimize, (optionally) execute locally, and simulate one query.
 
         ``truth`` overrides plan-node cardinalities in the simulator;
         when ``execute_locally`` is set and the warehouse holds real
         data, true cardinalities come from actual execution instead.
+
+        Binding and optimization are served from the plan cache when the
+        same normalized SQL was planned under the same constraint and
+        stats version; ``use_plan_cache=False`` forces a fresh plan.
         """
         timestamp = self.clock if at_time is None else at_time
         self.clock = max(self.clock, timestamp)
 
-        bound = self.binder.bind_sql(sql)
+        bound, choice = self._plan(sql, constraint, use_plan_cache)
         self._template_queries[template] = bound
-        choice = self.optimizer.optimize(bound, constraint)
 
         batch: Batch | None = None
         if execute_locally:
@@ -165,6 +177,58 @@ class CostIntelligentWarehouse:
             record=record,
             constraint=constraint,
         )
+
+    def submit_many(
+        self,
+        queries: Iterable[str | tuple[str, Constraint]],
+        *,
+        constraint: Constraint | None = None,
+        **submit_kwargs,
+    ) -> list[QueryOutcome]:
+        """Submit a batch of queries through one warehouse session.
+
+        ``queries`` yields SQL strings (planned under the shared
+        ``constraint``) or ``(sql, constraint)`` pairs.  The binding and
+        planning amortization comes from the plan cache each
+        :meth:`submit` consults: a workload driver replaying a template
+        pool pays for each distinct (SQL, constraint) plan once.
+        Remaining keyword arguments are forwarded to :meth:`submit`.
+        """
+        outcomes: list[QueryOutcome] = []
+        for item in queries:
+            if isinstance(item, str):
+                if constraint is None:
+                    raise ReproError(
+                        "submit_many needs a shared constraint for bare SQL items"
+                    )
+                sql, item_constraint = item, constraint
+            else:
+                sql, item_constraint = item
+            outcomes.append(self.submit(sql, item_constraint, **submit_kwargs))
+        return outcomes
+
+    def _plan(
+        self, sql: str, constraint: Constraint, use_plan_cache: bool
+    ) -> tuple[BoundQuery, PlanChoice]:
+        """Bind + optimize, via the plan cache when possible."""
+        key = None
+        if use_plan_cache and self.plan_cache is not None:
+            key = (normalize_sql(sql), constraint, self.catalog.version)
+            cached = self.plan_cache.lookup(key)
+            if cached is not None:
+                return cached
+        bound = self.binder.bind_sql(sql)
+        choice = self.optimizer.optimize(bound, constraint)
+        if key is not None:
+            self.plan_cache.store(key, bound, choice)
+        return bound, choice
+
+    def invalidate_plan_cache(self) -> None:
+        """Explicitly flush cached plans (catalog mutations invalidate
+        automatically via the stats version; use this after out-of-band
+        changes such as hardware recalibration)."""
+        if self.plan_cache is not None:
+            self.plan_cache.invalidate()
 
     def _simulate(
         self,

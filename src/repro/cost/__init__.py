@@ -8,6 +8,36 @@ and monetary cost — accurately enough to plan with, cheaply enough to be
 invoked thousands of times per optimization, and explainably (closed-form
 formulas plus least-squares-calibrated exchange corrections; no black-box
 models).
+
+Caching architecture (the optimizer hot path)
+---------------------------------------------
+
+"Invoked thousands of times per optimization" made the estimator the
+optimize-time bottleneck (~80% of wall time), so estimation is layered
+as cache-friendly pure functions with memoization at three levels:
+
+- **volumes** (:mod:`repro.cost.volumes`): per-operator data flow.
+  DOP-independent except for partial aggregates, so one computation
+  serves the whole DOP grid.  Cached per ``(pipeline, overrides)`` —
+  plus ``dop`` only for DOP-sensitive pipelines.
+- **timings** (:mod:`repro.cost.operator_models` behind
+  :mod:`repro.cost.timing_cache`): pure in ``(pipeline, dop,
+  overrides)``; memoized in weak per-pipeline dictionaries so entries
+  die with their plan.  The DOP planner's incremental coster then
+  re-times only the pipeline a candidate move changed and re-runs the
+  cheap ASAP schedule (:func:`repro.cost.query_simulator.schedule_timings`).
+- **plans** (:mod:`repro.core.plan_cache`): the serving layer memoizes
+  whole ``PlanChoice``s keyed on (normalized SQL, constraint, catalog
+  stats version).
+
+Invalidation: cached volumes/timings key on the cardinality-overrides
+mapping, so new observations never see stale numbers; catalog mutations
+bump ``Catalog.version``, which invalidates plan-cache entries by
+construction; ``CostEstimator.invalidate_caches()`` handles the one
+out-of-band case (hardware/exchange recalibration).  Caching is
+bit-identical to the uncached path — enforced by
+``tests/cost/test_estimation_parity.py`` and the A/B guard in
+``benchmarks/bench_optimizer_throughput.py``.
 """
 
 from repro.cost.hardware import HardwareCalibration
@@ -15,6 +45,7 @@ from repro.cost.estimate import CostEstimate, PipelineCost
 from repro.cost.estimator import CostEstimator
 from repro.cost.operator_models import OperatorModels
 from repro.cost.regression import ExchangeCalibration, calibrate_exchange
+from repro.cost.timing_cache import TimingCache
 
 __all__ = [
     "HardwareCalibration",
@@ -23,5 +54,6 @@ __all__ = [
     "CostEstimator",
     "OperatorModels",
     "ExchangeCalibration",
+    "TimingCache",
     "calibrate_exchange",
 ]

@@ -8,17 +8,25 @@ the What-If Service all "invoke the cost estimator").
 
 from __future__ import annotations
 
+from weakref import WeakKeyDictionary
+
 from repro.cost.estimate import CostEstimate
 from repro.cost.hardware import HardwareCalibration
-from repro.cost.operator_models import OperatorModels
-from repro.cost.query_simulator import simulate_dag
+from repro.cost.operator_models import OperatorModels, PipelineTiming
+from repro.cost.query_simulator import schedule_timings, simulate_dag
 from repro.cost.regression import ExchangeCalibration
 from repro.plan.physical import PhysNode, PhysScan, walk_physical
-from repro.plan.pipelines import PipelineDag, decompose_pipelines
+from repro.plan.pipelines import Pipeline, PipelineDag, decompose_pipelines
 
 
 class CostEstimator:
-    """Predicts latency / machine time / dollars for plan fragments."""
+    """Predicts latency / machine time / dollars for plan fragments.
+
+    ``enable_cache=True`` (the default) memoizes pipeline volumes and
+    timings behind :mod:`repro.cost.timing_cache` and per-DAG scan fees;
+    results are bit-identical to the uncached path (the flag exists for
+    A/B benchmarking and as an escape hatch).
+    """
 
     def __init__(
         self,
@@ -26,14 +34,30 @@ class CostEstimator:
         exchange_calibration: ExchangeCalibration | None = None,
         *,
         price_per_node_second: float | None = None,
+        enable_cache: bool = True,
     ) -> None:
         self.hw = hardware or HardwareCalibration()
-        self.models = OperatorModels(self.hw, exchange_calibration)
+        self.models = OperatorModels(
+            self.hw, exchange_calibration, enable_cache=enable_cache
+        )
         self.price_per_node_second = (
             price_per_node_second
             if price_per_node_second is not None
             else self.hw.node.price_per_second
         )
+        self._scan_dollars_cache: WeakKeyDictionary[PipelineDag, float] | None = (
+            WeakKeyDictionary() if enable_cache else None
+        )
+
+    @property
+    def cache_enabled(self) -> bool:
+        return self.models.cache is not None
+
+    def invalidate_caches(self) -> None:
+        """Drop all memoized state (after hardware/model recalibration)."""
+        self.models.invalidate_cache()
+        if self._scan_dollars_cache is not None:
+            self._scan_dollars_cache.clear()
 
     # ------------------------------------------------------------------ #
     # Main entry points
@@ -52,8 +76,39 @@ class CostEstimator:
             overrides=overrides,
             price_per_node_second=self.price_per_node_second,
         )
-        estimate.scan_request_dollars = self._scan_request_dollars(dag)
+        estimate.scan_request_dollars = self.scan_request_dollars(dag)
         return estimate
+
+    def estimate_schedule(
+        self,
+        dag: PipelineDag,
+        dops: dict[int, int],
+        timings: dict[int, PipelineTiming],
+    ) -> CostEstimate:
+        """Price a DAG from per-pipeline timings already in hand.
+
+        The incremental DOP search computes one new timing per candidate
+        move and re-prices with this O(pipelines) call instead of
+        :meth:`estimate_dag`.
+        """
+        estimate = schedule_timings(
+            dag,
+            dops,
+            timings,
+            self.models,
+            price_per_node_second=self.price_per_node_second,
+        )
+        estimate.scan_request_dollars = self.scan_request_dollars(dag)
+        return estimate
+
+    def pipeline_timing(
+        self,
+        pipeline: Pipeline,
+        dop: int,
+        overrides: dict[int, float] | None = None,
+    ) -> PipelineTiming:
+        """Timing of one pipeline (memoized when caching is enabled)."""
+        return self.models.pipeline_timing(pipeline, dop, overrides)
 
     def estimate_plan(
         self,
@@ -74,8 +129,18 @@ class CostEstimator:
     # ------------------------------------------------------------------ #
     # Secondary cost terms
     # ------------------------------------------------------------------ #
-    def _scan_request_dollars(self, dag: PipelineDag) -> float:
-        """Object-store GET fees for the plan's scans."""
+    def scan_request_dollars(self, dag: PipelineDag) -> float:
+        """Object-store GET fees for the plan's scans (DOP-independent,
+        memoized per DAG when caching is enabled)."""
+        if self._scan_dollars_cache is None:
+            return self._compute_scan_request_dollars(dag)
+        dollars = self._scan_dollars_cache.get(dag)
+        if dollars is None:
+            dollars = self._compute_scan_request_dollars(dag)
+            self._scan_dollars_cache[dag] = dollars
+        return dollars
+
+    def _compute_scan_request_dollars(self, dag: PipelineDag) -> float:
         store = self.hw.store
         chunk = 8 * 1024 * 1024  # ranged GETs of 8 MB
         dollars = 0.0

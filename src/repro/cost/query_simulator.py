@@ -19,7 +19,7 @@ from __future__ import annotations
 
 from repro.compute.node import NodeSpec
 from repro.cost.estimate import CostEstimate, PipelineCost
-from repro.cost.operator_models import OperatorModels
+from repro.cost.operator_models import OperatorModels, PipelineTiming
 from repro.errors import EstimationError
 from repro.plan.pipelines import PipelineDag
 
@@ -41,6 +41,38 @@ def simulate_dag(
     pipeline that must acquire nodes beyond those inherited from its
     finished producers.
     """
+    pipeline_timings: dict[int, PipelineTiming] = {}
+    for pipeline in dag:
+        pid = pipeline.pipeline_id
+        dop = dops.get(pid)
+        if dop is None:
+            raise EstimationError(f"no DOP for pipeline {pid}")
+        pipeline_timings[pid] = models.pipeline_timing(pipeline, dop, overrides)
+    return schedule_timings(
+        dag,
+        dops,
+        pipeline_timings,
+        models,
+        price_per_node_second=price_per_node_second,
+        include_provisioning=include_provisioning,
+    )
+
+
+def schedule_timings(
+    dag: PipelineDag,
+    dops: dict[int, int],
+    pipeline_timings: dict[int, PipelineTiming],
+    models: OperatorModels,
+    *,
+    price_per_node_second: float | None = None,
+    include_provisioning: bool = True,
+) -> CostEstimate:
+    """ASAP-schedule and price a DAG from already-computed timings.
+
+    This is the cheap O(pipelines) tail of :func:`simulate_dag`; the DOP
+    planner calls it directly when costing a candidate move where all but
+    one pipeline's timing is already known.
+    """
     spec: NodeSpec = models.hw.node
     rate = (
         price_per_node_second
@@ -56,10 +88,8 @@ def simulate_dag(
     timings: dict[int, tuple[float, str, float]] = {}
     for pipeline in dag:
         pid = pipeline.pipeline_id
-        dop = dops.get(pid)
-        if dop is None:
-            raise EstimationError(f"no DOP for pipeline {pid}")
-        timing = models.pipeline_timing(pipeline, dop, overrides)
+        dop = dops[pid]
+        timing = pipeline_timings[pid]
         duration = timing.duration
         if include_provisioning and dop > inherited.get(pid, 0):
             duration += models.hw.warm_attach_latency_s

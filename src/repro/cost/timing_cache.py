@@ -1,0 +1,165 @@
+"""Memoization for the estimator hot path.
+
+Profiling the DOP search shows ~80% of optimize time inside
+:func:`~repro.cost.operator_models.OperatorModels.pipeline_timing`, and
+most of those calls recompute results already produced earlier in the
+same greedy search: the search mutates one pipeline's DOP per move, yet
+every candidate evaluation re-times every pipeline.
+
+Two observations make the path cacheable:
+
+- :func:`~repro.cost.volumes.pipeline_volumes` is DOP-independent for
+  any pipeline without a partial (DOP-scaled) aggregate, so its result
+  can be shared across the whole DOP grid;
+- ``pipeline_timing`` is a pure function of ``(pipeline, dop,
+  overrides)``, so it can be memoized per pipeline object.
+
+Cached entries are keyed *by pipeline identity* in weak dictionaries:
+pipelines die with their plan, and the cache entries follow — no
+explicit lifetime management, no unbounded growth across queries.
+Results are shared objects; every consumer in the repo treats
+``PipelineTiming``/``OpVolume`` as read-only.
+
+Correctness contract (enforced by the parity suite in
+``tests/cost/test_estimation_parity.py``): the cache returns objects
+produced by exactly the same computation the uncached path runs, so
+estimates are bit-identical with caching on or off.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Callable
+from weakref import WeakKeyDictionary
+
+from repro.cost.volumes import OpVolume, pipeline_volumes
+from repro.plan.physical import AggMode, PhysAggregate
+from repro.plan.pipelines import Pipeline
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
+    from repro.cost.operator_models import PipelineTiming
+
+
+def overrides_key(overrides: dict[int, float] | None) -> tuple | None:
+    """Hashable identity of a cardinality-overrides mapping.
+
+    ``None`` and ``{}`` are deliberately distinct: passing any mapping —
+    even an empty one — switches :func:`pipeline_volumes` into
+    observed-selectivity mode for un-overridden operators.
+    """
+    if overrides is None:
+        return None
+    return tuple(sorted(overrides.items()))
+
+
+def volumes_depend_on_dop(pipeline: Pipeline) -> bool:
+    """True when the pipeline's volumes change with DOP.
+
+    The only DOP-dependent volume is a partial aggregate's output
+    (``min(rows_in, final_groups * dop)``); everything else is pure data
+    flow.
+    """
+    return any(
+        isinstance(op.node, PhysAggregate) and op.node.mode is AggMode.PARTIAL
+        for op in pipeline.ops
+    )
+
+
+@dataclass
+class TimingCacheStats:
+    """Hit/miss counters (the throughput benchmark reads these)."""
+
+    volume_hits: int = 0
+    volume_computations: int = 0
+    timing_hits: int = 0
+    timing_computations: int = 0
+
+    def reset(self) -> None:
+        self.volume_hits = 0
+        self.volume_computations = 0
+        self.timing_hits = 0
+        self.timing_computations = 0
+
+    def describe(self) -> str:
+        return (
+            f"timings: {self.timing_hits} hits / "
+            f"{self.timing_computations} computed; "
+            f"volumes: {self.volume_hits} hits / "
+            f"{self.volume_computations} computed"
+        )
+
+
+class TimingCache:
+    """Per-pipeline memo of volumes and timings.
+
+    Owned by one :class:`~repro.cost.operator_models.OperatorModels`; all
+    of that estimator's callers (DOP planner, co-finish polish, DOP
+    monitor, What-If Service) share it automatically.
+    """
+
+    def __init__(self) -> None:
+        # pipeline -> {(dop-or-0, overrides_key): [OpVolume, ...]}
+        self._volumes: WeakKeyDictionary[Pipeline, dict] = WeakKeyDictionary()
+        # pipeline -> {(dop, overrides_key): PipelineTiming}
+        self._timings: WeakKeyDictionary[Pipeline, dict] = WeakKeyDictionary()
+        # pipeline -> whether volumes depend on DOP (partial aggregates)
+        self._dop_sensitive: WeakKeyDictionary[Pipeline, bool] = WeakKeyDictionary()
+        self.stats = TimingCacheStats()
+
+    # ------------------------------------------------------------------ #
+    # Lookups
+    # ------------------------------------------------------------------ #
+    def volumes(
+        self,
+        pipeline: Pipeline,
+        dop: int,
+        overrides: dict[int, float] | None,
+    ) -> list[OpVolume]:
+        """Cached :func:`pipeline_volumes`; DOP enters the key only for
+        pipelines whose volumes actually depend on it."""
+        sensitive = self._dop_sensitive.get(pipeline)
+        if sensitive is None:
+            sensitive = volumes_depend_on_dop(pipeline)
+            self._dop_sensitive[pipeline] = sensitive
+        key = (dop if sensitive else 0, overrides_key(overrides))
+        per_pipeline = self._volumes.setdefault(pipeline, {})
+        found = per_pipeline.get(key)
+        if found is None:
+            self.stats.volume_computations += 1
+            found = pipeline_volumes(pipeline, dop, overrides)
+            per_pipeline[key] = found
+        else:
+            self.stats.volume_hits += 1
+        return found
+
+    def timing(
+        self,
+        pipeline: Pipeline,
+        dop: int,
+        overrides: dict[int, float] | None,
+        compute: Callable[[Pipeline, int, dict[int, float] | None], "PipelineTiming"],
+    ) -> "PipelineTiming":
+        """Memoized pipeline timing; ``compute`` runs on a miss."""
+        key = (dop, overrides_key(overrides))
+        per_pipeline = self._timings.setdefault(pipeline, {})
+        found = per_pipeline.get(key)
+        if found is None:
+            self.stats.timing_computations += 1
+            found = compute(pipeline, dop, overrides)
+            per_pipeline[key] = found
+        else:
+            self.stats.timing_hits += 1
+        return found
+
+    # ------------------------------------------------------------------ #
+    # Maintenance
+    # ------------------------------------------------------------------ #
+    def invalidate(self) -> None:
+        """Drop every cached entry (call after recalibrating hardware or
+        exchange coefficients — anything that changes the timing model)."""
+        self._volumes.clear()
+        self._timings.clear()
+        self._dop_sensitive.clear()
+
+    def __len__(self) -> int:
+        return sum(len(v) for v in self._timings.values())

@@ -21,10 +21,70 @@ from dataclasses import dataclass, field
 
 from repro.cost.estimate import CostEstimate
 from repro.cost.estimator import CostEstimator
+from repro.cost.operator_models import PipelineTiming
 from repro.dop.cofinish import equalize_siblings
 from repro.dop.constraints import Constraint
-from repro.errors import InfeasibleConstraintError
+from repro.errors import EstimationError, InfeasibleConstraintError
 from repro.plan.pipelines import PipelineDag
+
+
+class _IncrementalCoster:
+    """Incremental DAG re-coster for one ``(dag, overrides)`` search.
+
+    Pipeline timings are memoized per ``(pipeline_id, dop)``, so costing
+    a candidate move re-times only the pipeline whose DOP changed and
+    re-runs the cheap ASAP schedule over known timings — O(1) timing
+    evaluations per candidate instead of O(pipelines).  Produces
+    bit-identical estimates to :meth:`CostEstimator.estimate_dag` (it
+    runs the same scheduling code over the same timings).
+    """
+
+    def __init__(
+        self,
+        estimator: CostEstimator,
+        dag: PipelineDag,
+        overrides: dict[int, float] | None,
+    ) -> None:
+        self.estimator = estimator
+        self.dag = dag
+        self.overrides = overrides
+        self._timings: dict[tuple[int, int], PipelineTiming] = {}
+        self.evaluations = 0
+
+    def estimate(self, dops: dict[int, int]) -> CostEstimate:
+        self.evaluations += 1
+        timings: dict[int, PipelineTiming] = {}
+        for pipeline in self.dag:
+            pid = pipeline.pipeline_id
+            dop = dops.get(pid)
+            if dop is None:
+                raise EstimationError(f"no DOP for pipeline {pid}")
+            timing = self._timings.get((pid, dop))
+            if timing is None:
+                timing = self.estimator.pipeline_timing(pipeline, dop, self.overrides)
+                self._timings[(pid, dop)] = timing
+            timings[pid] = timing
+        return self.estimator.estimate_schedule(self.dag, dops, timings)
+
+
+class _NaiveCoster:
+    """Full re-estimation per candidate (the pre-overhaul baseline, kept
+    behind ``DopPlanner(incremental=False)`` for A/B benchmarking)."""
+
+    def __init__(
+        self,
+        estimator: CostEstimator,
+        dag: PipelineDag,
+        overrides: dict[int, float] | None,
+    ) -> None:
+        self.estimator = estimator
+        self.dag = dag
+        self.overrides = overrides
+        self.evaluations = 0
+
+    def estimate(self, dops: dict[int, int]) -> CostEstimate:
+        self.evaluations += 1
+        return self.estimator.estimate_dag(self.dag, dops, self.overrides)
 
 
 @dataclass
@@ -57,11 +117,12 @@ class DopPlanner:
         *,
         max_dop: int = 64,
         enforce_sla_strictly: bool = False,
+        incremental: bool = True,
     ) -> None:
         self.estimator = estimator
         self.max_dop = max_dop
         self.enforce_sla_strictly = enforce_sla_strictly
-        self._evaluations = 0
+        self.incremental = incremental
 
     # ------------------------------------------------------------------ #
     # Entry point
@@ -72,12 +133,13 @@ class DopPlanner:
         constraint: Constraint,
         overrides: dict[int, float] | None = None,
     ) -> DopPlan:
-        self._evaluations = 0
+        coster_cls = _IncrementalCoster if self.incremental else _NaiveCoster
+        coster = coster_cls(self.estimator, dag, overrides)
         if constraint.is_sla:
-            dops, feasible = self._plan_for_sla(dag, constraint, overrides)
+            dops, feasible = self._plan_for_sla(dag, constraint, overrides, coster)
         else:
-            dops, feasible = self._plan_for_budget(dag, constraint, overrides)
-        estimate = self._evaluate(dag, dops, overrides)
+            dops, feasible = self._plan_for_budget(dag, constraint, overrides, coster)
+        estimate = coster.estimate(dops)
         if not feasible and self.enforce_sla_strictly:
             raise InfeasibleConstraintError(
                 f"no DOP assignment satisfies {constraint.describe()}",
@@ -87,7 +149,7 @@ class DopPlanner:
             dops=dops,
             estimate=estimate,
             feasible=feasible,
-            evaluations=self._evaluations,
+            evaluations=coster.evaluations,
             constraint=constraint,
         )
 
@@ -99,14 +161,15 @@ class DopPlanner:
         dag: PipelineDag,
         constraint: Constraint,
         overrides: dict[int, float] | None,
+        coster: _IncrementalCoster | _NaiveCoster,
     ) -> tuple[dict[int, int], bool]:
         sla = constraint.bound()
         dops = {p.pipeline_id: 1 for p in dag}
-        current = self._evaluate(dag, dops, overrides)
+        current = coster.estimate(dops)
 
         # Phase 1: grow until the SLA is met or no move helps.
         while current.latency > sla:
-            move = self._best_growth_move(dag, dops, current, overrides)
+            move = self._best_growth_move(dops, current, coster)
             if move is None:
                 break
             dops, current = move
@@ -117,7 +180,7 @@ class DopPlanner:
             dag, dops, self.estimator.models, max_dop=self.max_dop, overrides=overrides
         )
         if polished != dops:
-            candidate = self._evaluate(dag, polished, overrides)
+            candidate = coster.estimate(polished)
             if candidate.latency <= max(current.latency, sla):
                 dops, current = polished, candidate
 
@@ -130,7 +193,7 @@ class DopPlanner:
                     continue
                 trial = dict(dops)
                 trial[pid] = max(1, dops[pid] // 2)
-                estimate = self._evaluate(dag, trial, overrides)
+                estimate = coster.estimate(trial)
                 if (
                     estimate.total_dollars < current.total_dollars
                     and (estimate.latency <= sla or not feasible)
@@ -141,10 +204,9 @@ class DopPlanner:
 
     def _best_growth_move(
         self,
-        dag: PipelineDag,
         dops: dict[int, int],
         current: CostEstimate,
-        overrides: dict[int, float] | None,
+        coster: _IncrementalCoster | _NaiveCoster,
     ) -> tuple[dict[int, int], CostEstimate] | None:
         """The doubling with the best latency gain per added dollar."""
         best: tuple[float, dict[int, int], CostEstimate] | None = None
@@ -153,7 +215,7 @@ class DopPlanner:
                 continue
             trial = dict(dops)
             trial[pid] = min(self.max_dop, dops[pid] * 2)
-            estimate = self._evaluate(dag, trial, overrides)
+            estimate = coster.estimate(trial)
             gain = current.latency - estimate.latency
             if gain <= 1e-9:
                 continue
@@ -173,10 +235,11 @@ class DopPlanner:
         dag: PipelineDag,
         constraint: Constraint,
         overrides: dict[int, float] | None,
+        coster: _IncrementalCoster | _NaiveCoster,
     ) -> tuple[dict[int, int], bool]:
         budget = constraint.bound()
         dops = {p.pipeline_id: 1 for p in dag}
-        current = self._evaluate(dag, dops, overrides)
+        current = coster.estimate(dops)
         if current.total_dollars > budget:
             # Even the minimal assignment exceeds the budget.
             return dops, False
@@ -188,7 +251,7 @@ class DopPlanner:
                     continue
                 trial = dict(dops)
                 trial[pid] = min(self.max_dop, dops[pid] * 2)
-                estimate = self._evaluate(dag, trial, overrides)
+                estimate = coster.estimate(trial)
                 if estimate.total_dollars > budget:
                     continue
                 gain = current.latency - estimate.latency
@@ -206,25 +269,13 @@ class DopPlanner:
             dag, dops, self.estimator.models, max_dop=self.max_dop, overrides=overrides
         )
         if polished != dops:
-            candidate = self._evaluate(dag, polished, overrides)
+            candidate = coster.estimate(polished)
             if (
                 candidate.total_dollars <= budget
                 and candidate.latency <= current.latency + 1e-9
             ):
                 dops = polished
         return dops, True
-
-    # ------------------------------------------------------------------ #
-    # Shared
-    # ------------------------------------------------------------------ #
-    def _evaluate(
-        self,
-        dag: PipelineDag,
-        dops: dict[int, int],
-        overrides: dict[int, float] | None,
-    ) -> CostEstimate:
-        self._evaluations += 1
-        return self.estimator.estimate_dag(dag, dops, overrides)
 
 
 def exhaustive_search(

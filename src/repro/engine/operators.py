@@ -139,13 +139,17 @@ def _combine_key_pair(
 
     The per-position value domain must be shared between the two sides —
     otherwise identical key tuples would encode to different composites.
+    The direct encoding multiplies per-position domain spans; when that
+    product cannot fit in int64 the keys are factorized into dense codes
+    instead (an extra sort per column, but exact at any domain width).
     """
     build_arrays = [_int_key(build, name) for name in build_names]
     probe_arrays = [_int_key(probe, name) for name in probe_names]
     if len(build_arrays) == 1:
         return build_arrays[0], probe_arrays[0]
-    build_combined = np.zeros(build.num_rows, dtype=np.int64)
-    probe_combined = np.zeros(probe.num_rows, dtype=np.int64)
+
+    offsets_spans: list[tuple[int, int]] = []
+    span_product = 1
     for b_arr, p_arr in zip(build_arrays, probe_arrays):
         lo = min(
             int(b_arr.min()) if b_arr.size else 0,
@@ -156,9 +160,44 @@ def _combine_key_pair(
             int(p_arr.max()) if p_arr.size else 0,
         )
         span = hi - lo + 1
+        offsets_spans.append((lo, span))
+        span_product *= span  # Python int: no wraparound while checking
+    if span_product >= 2**63:
+        return _factorized_key_pair(build_arrays, probe_arrays)
+
+    build_combined = np.zeros(build.num_rows, dtype=np.int64)
+    probe_combined = np.zeros(probe.num_rows, dtype=np.int64)
+    for (lo, span), b_arr, p_arr in zip(offsets_spans, build_arrays, probe_arrays):
         build_combined = build_combined * span + (b_arr - lo)
         probe_combined = probe_combined * span + (p_arr - lo)
     return build_combined, probe_combined
+
+
+def _factorized_key_pair(
+    build_arrays: list[np.ndarray], probe_arrays: list[np.ndarray]
+) -> tuple[np.ndarray, np.ndarray]:
+    """Composite keys via dense per-column codes shared across sides.
+
+    Each fold combines codes bounded by the total row count, and the
+    combination is re-densified before the next column, so intermediate
+    products stay below ``rows**2`` — far inside int64 — regardless of
+    how wide the raw value domains are.
+    """
+    n_build = build_arrays[0].size
+    combined: np.ndarray | None = None
+    for b_arr, p_arr in zip(build_arrays, probe_arrays):
+        merged = np.concatenate([b_arr, p_arr])
+        _, codes = np.unique(merged, return_inverse=True)
+        codes = codes.astype(np.int64)
+        card = int(codes.max()) + 1 if codes.size else 1
+        if combined is None:
+            combined = codes
+        else:
+            combined = combined * card + codes
+            _, combined = np.unique(combined, return_inverse=True)
+            combined = combined.astype(np.int64)
+    assert combined is not None
+    return combined[:n_build], combined[n_build:]
 
 
 def _int_key(batch: Batch, name: str) -> np.ndarray:
@@ -298,7 +337,16 @@ def execute_sort(
 
 
 def _descending_view(arr: np.ndarray) -> np.ndarray:
+    """An order-reversing view of ``arr`` for descending sort keys.
+
+    Integer keys use bitwise complement (``-x - 1`` for signed,
+    ``max - x`` for unsigned): exactly order-reversing in the original
+    dtype, with no overflow at the extremes and no precision loss — a
+    float64 negation collapses distinct int64 values above 2**53.
+    """
     if np.issubdtype(arr.dtype, np.bool_):
+        return ~arr
+    if np.issubdtype(arr.dtype, np.integer):
         return ~arr
     return -arr.astype(np.float64)
 

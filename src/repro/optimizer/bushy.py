@@ -74,12 +74,12 @@ def bushy_variants(
     """
     order = linearize(tree)
     variants: list[JoinTree | Leaf] = [tree]
-    seen: set[str] = {tree.describe()}
+    seen: set[tuple | str] = {_tree_key(tree)}
 
     def try_add(candidate: JoinTree | Leaf | None) -> None:
         if candidate is None:
             return
-        key = candidate.describe()
+        key = _tree_key(candidate)
         if key in seen:
             return
         if not _bounded(candidate, base_relations, estimator, expansion_limit):
@@ -101,6 +101,18 @@ def bushy_variants(
 # ---------------------------------------------------------------------- #
 # Construction helpers
 # ---------------------------------------------------------------------- #
+def _tree_key(tree: JoinTree | Leaf) -> tuple | str:
+    """Structural identity of a join shape for dedup.
+
+    Nested tuples of table names — hashes far cheaper than the
+    ``describe()`` strings it replaces, which showed up hot in the
+    optimize profile (string building per candidate per query).
+    """
+    if isinstance(tree, Leaf):
+        return tree.table
+    return (_tree_key(tree.left), _tree_key(tree.right))
+
+
 def _join_halves(
     left_tables: list[str], right_tables: list[str], edges: list[JoinEdge]
 ) -> JoinTree | None:

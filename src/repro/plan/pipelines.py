@@ -62,9 +62,14 @@ class PipelineOp:
     role: str
 
 
-@dataclass
+@dataclass(eq=False)
 class Pipeline:
-    """A maximal streaming operator chain with blocking dependencies."""
+    """A maximal streaming operator chain with blocking dependencies.
+
+    Identity semantics (``eq=False``): pipelines are compared and hashed
+    by object identity so the estimator's timing cache can key weak
+    per-pipeline memos on them.
+    """
 
     pipeline_id: int
     ops: list[PipelineOp] = field(default_factory=list)
@@ -95,12 +100,17 @@ class Pipeline:
         return f"P{self.pipeline_id}: {chain}{deps}"
 
 
-@dataclass
+@dataclass(eq=False)
 class PipelineDag:
-    """All pipelines of one query plus the root (result-producing) one."""
+    """All pipelines of one query plus the root (result-producing) one.
+
+    Hashed by identity (``eq=False``) so per-DAG derived facts (e.g. the
+    estimator's scan-request fees) can live in weak caches.
+    """
 
     pipelines: dict[int, Pipeline]
     root_id: int
+    _topo: list[Pipeline] | None = field(default=None, init=False, repr=False)
 
     def __post_init__(self) -> None:
         self._check_acyclic()
@@ -122,7 +132,14 @@ class PipelineDag:
         return iter(self.pipelines.values())
 
     def topological_order(self) -> list[Pipeline]:
-        """Pipelines ordered so every blocking dep precedes its consumer."""
+        """Pipelines ordered so every blocking dep precedes its consumer.
+
+        Memoized — the structure is fixed after decomposition and the
+        estimator's scheduler asks once per candidate evaluation.  Treat
+        the returned list as read-only.
+        """
+        if self._topo is not None:
+            return self._topo
         order: list[Pipeline] = []
         visited: set[int] = set()
 
@@ -136,6 +153,7 @@ class PipelineDag:
 
         for pid in self.pipelines:
             visit(pid)
+        self._topo = order
         return order
 
     def siblings(self, pipeline_id: int) -> list[Pipeline]:

@@ -1,0 +1,146 @@
+"""Tests for the warehouse plan cache and batched submission."""
+
+import pytest
+
+from repro.core.plan_cache import PlanCache, normalize_sql
+from repro.core.warehouse import CostIntelligentWarehouse
+from repro.dop.constraints import budget_constraint, sla_constraint
+from repro.errors import ReproError
+from repro.workloads.tpch_queries import instantiate
+
+
+@pytest.fixture()
+def warehouse(tpch_db):
+    return CostIntelligentWarehouse(tpch_db)
+
+
+Q1 = "SELECT count(*) AS n FROM orders"
+
+
+# --------------------------- normalize_sql ---------------------------- #
+def test_normalize_sql_collapses_formatting():
+    assert normalize_sql("SELECT  *  FROM t") == normalize_sql(
+        "select *\n from T -- comment\n"
+    )
+
+
+def test_normalize_sql_keeps_literals_distinct():
+    assert normalize_sql("SELECT a FROM t WHERE a < 5") != normalize_sql(
+        "SELECT a FROM t WHERE a < 6"
+    )
+    assert normalize_sql("SELECT a FROM t WHERE s = 'X'") != normalize_sql(
+        "SELECT a FROM t WHERE s = 'Y'"
+    )
+
+
+# ----------------------------- PlanCache ------------------------------ #
+def test_plan_cache_lru_eviction():
+    cache = PlanCache(capacity=2)
+    cache.store("a", "bound-a", "choice-a")
+    cache.store("b", "bound-b", "choice-b")
+    assert cache.lookup("a") == ("bound-a", "choice-a")  # refresh a
+    cache.store("c", "bound-c", "choice-c")  # evicts b
+    assert cache.lookup("b") is None
+    assert cache.lookup("a") is not None
+    assert cache.evictions == 1
+    assert 0.0 < cache.hit_rate < 1.0
+    assert "entries" in cache.describe()
+
+
+def test_plan_cache_rejects_zero_capacity():
+    with pytest.raises(ValueError):
+        PlanCache(capacity=0)
+
+
+# --------------------------- warehouse hits --------------------------- #
+def test_repeat_submission_hits_cache(warehouse):
+    constraint = sla_constraint(12.0)
+    first = warehouse.submit(Q1, constraint)
+    second = warehouse.submit(Q1, constraint)
+    assert warehouse.plan_cache.hits == 1
+    assert second.choice is first.choice
+    # Logging still happens per submission.
+    assert len(warehouse.logs) == 2
+
+
+def test_formatting_variants_share_one_plan(warehouse):
+    constraint = sla_constraint(12.0)
+    warehouse.submit(Q1, constraint)
+    warehouse.submit("select COUNT( * ) as N\nfrom ORDERS", constraint)
+    assert warehouse.plan_cache.hits == 1
+
+
+def test_different_constraints_plan_separately(warehouse):
+    warehouse.submit(Q1, sla_constraint(12.0))
+    warehouse.submit(Q1, budget_constraint(0.05))
+    warehouse.submit(Q1, sla_constraint(5.0))
+    assert warehouse.plan_cache.hits == 0
+    assert warehouse.plan_cache.misses == 3
+
+
+def test_use_plan_cache_false_bypasses(warehouse):
+    constraint = sla_constraint(12.0)
+    warehouse.submit(Q1, constraint)
+    warehouse.submit(Q1, constraint, use_plan_cache=False)
+    assert warehouse.plan_cache.hits == 0
+
+
+def test_plan_cache_disabled_by_size_zero(tpch_db):
+    warehouse = CostIntelligentWarehouse(tpch_db, plan_cache_size=0)
+    assert warehouse.plan_cache is None
+    constraint = sla_constraint(12.0)
+    warehouse.submit(Q1, constraint)
+    warehouse.submit(Q1, constraint)  # no cache, no crash
+    warehouse.invalidate_plan_cache()  # no-op
+
+
+# --------------------------- invalidation ----------------------------- #
+def test_stats_change_invalidates(warehouse):
+    constraint = sla_constraint(12.0)
+    warehouse.submit(Q1, constraint)
+    catalog = warehouse.catalog
+    version = catalog.version
+    catalog.update_stats("orders", catalog.table("orders").stats)
+    assert catalog.version == version + 1
+    warehouse.submit(Q1, constraint)
+    assert warehouse.plan_cache.hits == 0
+    assert warehouse.plan_cache.misses == 2
+
+
+def test_explicit_invalidation(warehouse):
+    constraint = sla_constraint(12.0)
+    warehouse.submit(Q1, constraint)
+    warehouse.invalidate_plan_cache()
+    assert len(warehouse.plan_cache) == 0
+    warehouse.submit(Q1, constraint)
+    assert warehouse.plan_cache.hits == 0
+
+
+def test_tuning_apply_invalidates_via_version(warehouse):
+    """Catalog mutations from auto-tuning invalidate cached plans."""
+    constraint = sla_constraint(12.0)
+    warehouse.submit(Q1, constraint)
+    warehouse.catalog.set_clustering("orders", "o_orderdate", 0.2)
+    warehouse.submit(Q1, constraint)
+    assert warehouse.plan_cache.hits == 0
+
+
+# --------------------------- submit_many ------------------------------ #
+def test_submit_many_shared_constraint(warehouse):
+    sql = instantiate("q1_pricing_summary", seed=1)
+    outcomes = warehouse.submit_many([sql, sql, Q1], constraint=sla_constraint(12.0))
+    assert len(outcomes) == 3
+    assert warehouse.plan_cache.hits == 1
+    assert outcomes[1].choice is outcomes[0].choice
+
+
+def test_submit_many_per_item_constraints(warehouse):
+    pairs = [(Q1, sla_constraint(12.0)), (Q1, budget_constraint(0.05))]
+    outcomes = warehouse.submit_many(pairs)
+    assert len(outcomes) == 2
+    assert warehouse.plan_cache.misses == 2
+
+
+def test_submit_many_requires_constraint_for_bare_sql(warehouse):
+    with pytest.raises(ReproError):
+        warehouse.submit_many([Q1])

@@ -1,0 +1,103 @@
+"""Parity suite: the cached/incremental hot path must be bit-identical.
+
+The optimizer overhaul (timing cache + incremental DAG re-costing) is a
+pure performance change: across every TPC-H template, both constraint
+kinds, and with/without cardinality overrides, the fast path must return
+*exactly* the same `CostEstimate`s and choose *exactly* the same plans
+as the naive path it replaced.  Float comparisons here are deliberately
+`==`, not approx.
+"""
+
+import pytest
+
+from repro.core.bioptimizer import BiObjectiveOptimizer
+from repro.cost.estimator import CostEstimator
+from repro.dop.constraints import budget_constraint, sla_constraint
+from repro.dop.planner import DopPlanner
+from repro.plan.pipelines import decompose_pipelines
+from repro.workloads.tpch_queries import instantiate, template_names
+
+CONSTRAINTS = [sla_constraint(12.0), budget_constraint(0.05)]
+
+
+def assert_estimates_identical(a, b):
+    assert a.latency == b.latency
+    assert a.machine_seconds == b.machine_seconds
+    assert a.dollars == b.dollars
+    assert a.scan_request_dollars == b.scan_request_dollars
+    assert set(a.pipelines) == set(b.pipelines)
+    for pid, pa in a.pipelines.items():
+        pb = b.pipelines[pid]
+        assert (pa.dop, pa.start, pa.duration, pa.waste) == (
+            pb.dop,
+            pb.start,
+            pb.duration,
+            pb.waste,
+        )
+        assert pa.bottleneck == pb.bottleneck
+        assert pa.source_rows == pb.source_rows
+
+
+@pytest.mark.parametrize("template", template_names())
+@pytest.mark.parametrize("constraint", CONSTRAINTS, ids=["sla", "budget"])
+def test_optimizer_parity_all_templates(big_catalog, big_binder, template, constraint):
+    bound = big_binder.bind_sql(instantiate(template, seed=1))
+    naive = BiObjectiveOptimizer(
+        big_catalog, CostEstimator(enable_cache=False), incremental_dop=False
+    ).optimize(bound, constraint)
+    fast = BiObjectiveOptimizer(
+        big_catalog, CostEstimator(enable_cache=True), incremental_dop=True
+    ).optimize(bound, constraint)
+
+    assert fast.dop_plan.dops == naive.dop_plan.dops
+    assert fast.variant_index == naive.variant_index
+    assert fast.bushiness == naive.bushiness
+    assert fast.join_tree.describe() == naive.join_tree.describe()
+    assert fast.feasible == naive.feasible
+    assert_estimates_identical(fast.dop_plan.estimate, naive.dop_plan.estimate)
+
+
+@pytest.mark.parametrize("template", ["q5_local_supplier", "q18_large_orders"])
+@pytest.mark.parametrize("constraint", CONSTRAINTS, ids=["sla", "budget"])
+def test_dop_planner_parity_with_overrides(
+    big_binder, big_planner, template, constraint
+):
+    plan = big_planner.plan(big_binder.bind_sql(instantiate(template, seed=1)))
+    dag = decompose_pipelines(plan)
+    scan = dag.topological_order()[0].ops[0].node
+    for overrides in (None, {scan.node_id: float(scan.est_rows) * 3.0}):
+        naive = DopPlanner(CostEstimator(enable_cache=False), incremental=False).plan(
+            dag, constraint, overrides
+        )
+        fast = DopPlanner(CostEstimator(enable_cache=True), incremental=True).plan(
+            dag, constraint, overrides
+        )
+        assert fast.dops == naive.dops
+        assert fast.feasible == naive.feasible
+        assert_estimates_identical(fast.estimate, naive.estimate)
+
+
+def test_incremental_search_times_fewer_pipelines(big_catalog, big_binder):
+    """The hot-path contract over the template pool: >=5x fewer
+    timing-model evaluations than the naive search (the acceptance
+    criterion the throughput benchmark also enforces)."""
+    bounds = [
+        big_binder.bind_sql(instantiate(name, seed=1)) for name in template_names()
+    ]
+
+    naive_estimator = CostEstimator(enable_cache=False)
+    naive_optimizer = BiObjectiveOptimizer(
+        big_catalog, naive_estimator, incremental_dop=False
+    )
+    fast_estimator = CostEstimator(enable_cache=True)
+    fast_optimizer = BiObjectiveOptimizer(
+        big_catalog, fast_estimator, incremental_dop=True
+    )
+    for bound in bounds:
+        for constraint in CONSTRAINTS:
+            naive_optimizer.optimize(bound, constraint)
+            fast_optimizer.optimize(bound, constraint)
+
+    naive_timings = naive_estimator.models.timing_computations
+    fast_timings = fast_estimator.models.timing_computations
+    assert fast_timings * 5 <= naive_timings

@@ -1,0 +1,147 @@
+"""Tests for the estimator hot-path memoization (cost/timing_cache.py)."""
+
+import pytest
+
+from repro.cost.estimator import CostEstimator
+from repro.cost.timing_cache import (
+    TimingCache,
+    overrides_key,
+    volumes_depend_on_dop,
+)
+from repro.plan.pipelines import decompose_pipelines
+from repro.workloads.tpch_queries import instantiate
+
+
+@pytest.fixture(scope="module")
+def q5_dag(big_binder, big_planner):
+    plan = big_planner.plan(big_binder.bind_sql(instantiate("q5_local_supplier", seed=1)))
+    return decompose_pipelines(plan)
+
+
+def fresh_estimator() -> CostEstimator:
+    return CostEstimator(enable_cache=True)
+
+
+# ------------------------------ keys ---------------------------------- #
+def test_overrides_key_distinguishes_none_from_empty():
+    # {} switches the volume model into observed-selectivity mode, so it
+    # must not share a cache slot with None.
+    assert overrides_key(None) is None
+    assert overrides_key({}) == ()
+    assert overrides_key({3: 7.0, 1: 2.0}) == ((1, 2.0), (3, 7.0))
+    assert overrides_key({1: 2.0, 3: 7.0}) == overrides_key({3: 7.0, 1: 2.0})
+
+
+def test_volumes_dop_sensitivity_detection(q5_dag):
+    sensitive = [volumes_depend_on_dop(p) for p in q5_dag]
+    # q5 aggregates, so at least one pipeline carries a partial aggregate
+    # and at least one (a pure scan/probe chain) does not.
+    assert any(sensitive)
+    assert not all(sensitive)
+
+
+# --------------------------- memoization ------------------------------ #
+def test_timing_memoized_per_dop(q5_dag):
+    estimator = fresh_estimator()
+    dops = {p.pipeline_id: 4 for p in q5_dag}
+    estimator.estimate_dag(q5_dag, dops)
+    stats = estimator.models.cache.stats
+    computed_first = stats.timing_computations
+    assert computed_first == len(q5_dag)
+
+    estimator.estimate_dag(q5_dag, dops)
+    assert stats.timing_computations == computed_first
+    assert stats.timing_hits == len(q5_dag)
+
+
+def test_dop_independent_volumes_shared_across_dops(q5_dag):
+    estimator = fresh_estimator()
+    for dop in (1, 2, 4, 8):
+        estimator.estimate_dag(q5_dag, {p.pipeline_id: dop for p in q5_dag})
+    stats = estimator.models.cache.stats
+    insensitive = sum(1 for p in q5_dag if not volumes_depend_on_dop(p))
+    sensitive = len(q5_dag) - insensitive
+    # Insensitive pipelines computed volumes once; sensitive ones per DOP.
+    assert stats.volume_computations == insensitive + 4 * sensitive
+    # Timings are DOP-keyed for everyone.
+    assert stats.timing_computations == 4 * len(q5_dag)
+
+
+def test_overrides_keyed_separately(q5_dag):
+    estimator = fresh_estimator()
+    dops = {p.pipeline_id: 2 for p in q5_dag}
+    # Inflate the biggest scan so the override must change the estimate.
+    scans = [
+        op.node
+        for p in q5_dag
+        for op in p.ops
+        if op.role == "source_scan"
+    ]
+    scan_node = max(scans, key=lambda node: node.est_rows)
+    overrides = {scan_node.node_id: float(scan_node.est_rows) * 10.0}
+    with_override = estimator.estimate_dag(q5_dag, dops, overrides)
+    without = estimator.estimate_dag(q5_dag, dops)
+    again = estimator.estimate_dag(q5_dag, dops, overrides)
+    assert with_override.machine_seconds != without.machine_seconds
+    assert with_override.machine_seconds == again.machine_seconds
+    assert with_override.latency == again.latency
+
+
+def test_cached_matches_uncached_exactly(q5_dag):
+    cached = fresh_estimator()
+    uncached = CostEstimator(enable_cache=False)
+    scan_node = q5_dag.topological_order()[0].ops[0].node
+    for dop in (1, 3, 16):
+        for overrides in (None, {}, {scan_node.node_id: 5e6}):
+            dops = {p.pipeline_id: dop for p in q5_dag}
+            a = cached.estimate_dag(q5_dag, dops, overrides)
+            b = uncached.estimate_dag(q5_dag, dops, overrides)
+            assert a.latency == b.latency
+            assert a.machine_seconds == b.machine_seconds
+            assert a.dollars == b.dollars
+            assert a.scan_request_dollars == b.scan_request_dollars
+            for pid in a.pipelines:
+                assert a.pipelines[pid] == b.pipelines[pid]
+
+
+# --------------------------- invalidation ----------------------------- #
+def test_invalidate_clears_everything(q5_dag):
+    estimator = fresh_estimator()
+    dops = {p.pipeline_id: 2 for p in q5_dag}
+    estimator.estimate_dag(q5_dag, dops)
+    cache = estimator.models.cache
+    assert len(cache) > 0
+    estimator.invalidate_caches()
+    assert len(cache) == 0
+    before = cache.stats.timing_computations
+    estimator.estimate_dag(q5_dag, dops)
+    assert cache.stats.timing_computations == before + len(q5_dag)
+
+
+def test_cache_entries_die_with_their_pipelines(big_binder, big_planner):
+    estimator = fresh_estimator()
+    plan = big_planner.plan(
+        big_binder.bind_sql(instantiate("q1_pricing_summary", seed=1))
+    )
+    dag = decompose_pipelines(plan)
+    estimator.estimate_dag(dag, {p.pipeline_id: 2 for p in dag})
+    cache = estimator.models.cache
+    assert len(cache) == len(dag)
+    del dag, plan  # weak keys: dropping the plan drops its cache entries
+    import gc
+
+    gc.collect()
+    assert len(cache) == 0
+
+
+def test_direct_cache_api_counts_hits(q5_dag):
+    cache = TimingCache()
+    pipeline = q5_dag.topological_order()[0]
+    first = cache.volumes(pipeline, 2, None)
+    second = cache.volumes(pipeline, 2, None)
+    assert first is second
+    assert cache.stats.volume_computations == 1
+    assert cache.stats.volume_hits == 1
+    cache.stats.reset()
+    assert cache.stats.volume_hits == 0
+    assert "volumes" in cache.stats.describe()

@@ -202,3 +202,81 @@ def test_scan_prunes_partitions(tpch_db):
     full, _, _ = execute_scan(table, ("l_orderkey", "l_shipdate"), None)
     mask = (full.column("l_shipdate") >= 9131) & (full.column("l_shipdate") < 9200)
     assert batch.num_rows == int(mask.sum())
+
+
+def test_sort_descending_int64_beyond_float53():
+    # A float64 negation collapses adjacent int64 values above 2**53;
+    # the integer order-reversing transform must keep them distinct.
+    values = np.array(
+        [2**53, 2**53 + 1, 2**53 - 1, -(2**63), 2**63 - 1], dtype=np.int64
+    )
+    out = execute_sort(Batch({"k": values}), ("k",), (False,))
+    assert out.column("k").tolist() == sorted(values.tolist(), reverse=True)
+    # dtype survives the round trip
+    assert out.column("k").dtype == np.int64
+
+
+def test_sort_descending_unsigned_and_negative():
+    unsigned = np.array([0, 2**64 - 1, 7], dtype=np.uint64)
+    out = execute_sort(Batch({"k": unsigned}), ("k",), (False,))
+    assert out.column("k").tolist() == [2**64 - 1, 7, 0]
+    signed = np.array([-5, 3, -1, 0], dtype=np.int64)
+    out = execute_sort(Batch({"k": signed}), ("k",), (False,))
+    assert out.column("k").tolist() == [3, 0, -1, -5]
+
+
+def test_hash_join_composite_key_span_overflow():
+    # Two key columns whose domain-span product exceeds int64: the direct
+    # composite encoding would wrap around; the factorized fallback must
+    # still join exactly.
+    build = Batch(
+        {
+            "a": np.array([0, 2**40, 2**40, -(2**40)], dtype=np.int64),
+            "b": np.array([0, 2**40, 5, -(2**40)], dtype=np.int64),
+            "v": np.array([1, 2, 3, 4]),
+        }
+    )
+    probe = Batch(
+        {
+            "x": np.array([2**40, 0, 2**40, -(2**40)], dtype=np.int64),
+            "y": np.array([2**40, 1, 5, -(2**40)], dtype=np.int64),
+        }
+    )
+    out = execute_hash_join(
+        build, probe, (ColumnRef("a"), ColumnRef("b")), (ColumnRef("x"), ColumnRef("y"))
+    )
+    # (2**40, 2**40) -> v=2, (2**40, 5) -> v=3, (-2**40, -2**40) -> v=4;
+    # (0, 1) matches nothing.
+    assert sorted(out.column("v").tolist()) == [2, 3, 4]
+
+
+def test_hash_join_composite_overflow_no_false_positives():
+    # Pairs engineered so a wrapped int64 encoding could alias: same
+    # difference pattern at huge magnitudes.
+    build = Batch(
+        {
+            "a": np.array([2**62, -(2**62)], dtype=np.int64),
+            "b": np.array([2**62, -(2**62)], dtype=np.int64),
+            "v": np.array([10, 20]),
+        }
+    )
+    probe = Batch(
+        {
+            "x": np.array([-(2**62), 2**62], dtype=np.int64),
+            "y": np.array([2**62, -(2**62)], dtype=np.int64),
+        }
+    )
+    out = execute_hash_join(
+        build, probe, (ColumnRef("a"), ColumnRef("b")), (ColumnRef("x"), ColumnRef("y"))
+    )
+    assert out.num_rows == 0
+
+
+def test_hash_join_composite_small_domain_unchanged():
+    # Small domains keep the direct arithmetic encoding (no factorize cost).
+    build = Batch({"a": np.array([1, 2]), "b": np.array([3, 4]), "v": np.array([1, 2])})
+    probe = Batch({"x": np.array([2, 1]), "y": np.array([4, 9])})
+    out = execute_hash_join(
+        build, probe, (ColumnRef("a"), ColumnRef("b")), (ColumnRef("x"), ColumnRef("y"))
+    )
+    assert out.column("v").tolist() == [2]
