@@ -1,6 +1,8 @@
 """Optimizer throughput: queries-optimized-per-second over the TPC-H pool.
 
-A/B of the estimation hot path:
+Two workloads, three modes:
+
+**Fixed pool** (identical SQL re-optimized, PR 1's A/B):
 
 - **baseline**: uncached estimator + naive DOP search (every candidate
   move re-times every pipeline) — the pre-overhaul behavior, kept behind
@@ -8,12 +10,27 @@ A/B of the estimation hot path:
 - **cached**: memoized volumes/timings + incremental DAG re-costing
   (one new timing per candidate move, cheap ASAP re-schedule).
 
-Reports mean ``optimize()`` wall time, optimizer throughput, and actual
-timing-model evaluations, then writes ``BENCH_optimizer.json`` next to
-the repo root so the perf trajectory is tracked across PRs.  The two
-paths must agree bit-for-bit on estimates and chosen plans (also
-enforced by ``tests/cost/test_estimation_parity.py``); this script
-re-checks as a guard.
+**Literal-varying pool** (each arrival re-instantiates its template with
+fresh constants — the recurring-report traffic shape, where exact-match
+plan caching gets 0% hits):
+
+- **cached** again, as the PR 1 reference: fresh bind + fresh optimize
+  per arrival;
+- **parameterized**: the serving path through
+  ``CostIntelligentWarehouse.plan`` — literal extraction, exact-level
+  then skeleton-level plan cache, DAG-planning memo, and batched greedy
+  DOP rounds.  Skeleton hits skip join-order DP and bushy generation
+  and re-run only binding, cardinality re-estimation, and the
+  incremental DOP search.
+
+Reports wall times, throughput, timing-model evaluations, a per-stage
+time breakdown (join ordering / bushy generation / physical planning /
+DOP search / bind+serve overhead), and cache hit rates, then writes
+``BENCH_optimizer.json`` next to the repo root so the perf trajectory is
+tracked across PRs.  Every fast path must agree bit-for-bit on estimates
+and chosen plans with fresh optimization of the same SQL (also enforced
+by ``tests/cost/test_estimation_parity.py``); this script re-checks as a
+guard and fails on any mismatch.
 
 Usage::
 
@@ -34,6 +51,7 @@ if str(REPO_ROOT / "src") not in sys.path:
     sys.path.insert(0, str(REPO_ROOT / "src"))
 
 from repro.core.bioptimizer import BiObjectiveOptimizer  # noqa: E402
+from repro.core.warehouse import CostIntelligentWarehouse  # noqa: E402
 from repro.cost.estimator import CostEstimator  # noqa: E402
 from repro.dop.constraints import budget_constraint, sla_constraint  # noqa: E402
 from repro.sql.binder import Binder  # noqa: E402
@@ -44,49 +62,196 @@ SLA_SECONDS = 12.0
 BUDGET_DOLLARS = 0.05
 SPEEDUP_FLOOR = 3.0
 TIMING_REDUCTION_FLOOR = 5.0
+#: Required optimizes/s gain of the parameterized serving path over the
+#: PR 1 cached path on the literal-varying workload.
+PARAMETERIZED_SPEEDUP_FLOOR = 2.0
+
+CONSTRAINTS = (sla_constraint(SLA_SECONDS), budget_constraint(BUDGET_DOLLARS))
 
 
-def run_pool(catalog, bounds, constraints, *, cached: bool, rounds: int) -> dict:
-    """Optimize the whole pool ``rounds`` times; return aggregate metrics.
-
-    One untimed warmup pass precedes measurement: the serving-layer
-    metric is steady-state throughput, not interpreter/allocator warmup.
-    """
-    estimator = CostEstimator(enable_cache=cached)
+def fresh_optimizer(catalog, *, cached: bool) -> BiObjectiveOptimizer:
+    """PR 1's two modes: ``cached`` toggles every PR 1 optimization; the
+    DAG memo and batched rounds (this PR) stay off so the reference
+    numbers keep meaning "PR 1's cached path"."""
     optimizer = BiObjectiveOptimizer(
-        catalog, estimator, max_dop=64, incremental_dop=cached
+        catalog,
+        CostEstimator(enable_cache=cached),
+        max_dop=64,
+        incremental_dop=cached,
+        memoize_dag=False,
     )
-    for bound in bounds:
-        for constraint in constraints:
-            optimizer.optimize(bound, constraint)
-    estimator.models.timing_computations = 0
-    choices = []
-    per_optimize: list[float] = []
-    start = time.perf_counter()
-    for _ in range(rounds):
-        choices = []
+    optimizer.dop_planner.batched = False
+    return optimizer
+
+
+def run_fixed_pool(catalog, bounds, constraints, *, rounds: int) -> tuple[dict, dict]:
+    """A/B the optimizer modes over the fixed pool (identical SQL).
+
+    One untimed warmup pass per mode precedes measurement (the
+    serving-layer metric is steady-state throughput, not
+    interpreter/allocator warmup); the two modes then run in
+    alternating per-round order and are compared on their fastest
+    rounds, so ambient CPU noise cancels.
+    """
+    optimizers = {
+        "baseline": fresh_optimizer(catalog, cached=False),
+        "cached": fresh_optimizer(catalog, cached=True),
+    }
+    for optimizer in optimizers.values():
         for bound in bounds:
             for constraint in constraints:
-                t0 = time.perf_counter()
-                choices.append(optimizer.optimize(bound, constraint))
-                per_optimize.append(time.perf_counter() - t0)
-    wall = time.perf_counter() - start
-    optimizes = len(bounds) * len(constraints) * rounds
-    return {
-        "mode": "cached" if cached else "baseline",
-        "optimizes": optimizes,
-        "wall_s": wall,
-        "mean_optimize_s": sum(per_optimize) / len(per_optimize),
-        "optimizes_per_s": optimizes / wall,
-        "timing_evaluations": estimator.models.timing_computations,
-        "choices": choices,  # stripped before JSON
-    }
+                optimizer.optimize(bound, constraint)
+        optimizer.estimator.models.timing_computations = 0
+
+    walls: dict[str, list[float]] = {"baseline": [], "cached": []}
+    choices: dict[str, list] = {"baseline": [], "cached": []}
+    modes = list(optimizers)
+    for round_index in range(rounds):
+        ordering = modes if round_index % 2 == 0 else modes[::-1]
+        for mode in ordering:
+            optimizer = optimizers[mode]
+            round_choices = []
+            start = time.perf_counter()
+            for bound in bounds:
+                for constraint in constraints:
+                    round_choices.append(optimizer.optimize(bound, constraint))
+            walls[mode].append(time.perf_counter() - start)
+            choices[mode] = round_choices
+
+    pool_size = len(bounds) * len(constraints)
+
+    def result(mode: str) -> dict:
+        wall = sum(walls[mode])
+        # Noise on a shared/single-core runner is strictly additive, so
+        # (as timeit's docs recommend) the fastest round is the best
+        # estimator of the true cost.
+        best = min(walls[mode])
+        return {
+            "mode": mode,
+            "optimizes": pool_size * rounds,
+            "wall_s": wall,
+            "mean_optimize_s": best / pool_size,
+            "optimizes_per_s": pool_size / best,
+            "round_walls_s": walls[mode],
+            "timing_evaluations": optimizers[
+                mode
+            ].estimator.models.timing_computations,
+            "choices": choices[mode],  # stripped before JSON
+        }
+
+    return result("baseline"), result("cached")
 
 
-def check_parity(baseline_choices, cached_choices) -> int:
-    """Count plan/estimate mismatches between the two paths."""
+def literal_varying_workload(names, *, seeds: int, rounds: int) -> list[list[str]]:
+    """The recurring-report traffic shape: every arrival re-issues a
+    template with constants never seen before, so the exact-match plan
+    cache cannot hit.  Returned in per-round chunks so the two serving
+    paths can be measured interleaved (paired design — ambient CPU
+    noise hits both modes alike)."""
+    chunks: list[list[str]] = []
+    seed = 1000  # disjoint from the fixed pool's seeds
+    for _ in range(rounds):
+        chunk: list[str] = []
+        for name in names:
+            for _ in range(seeds):
+                chunk.append(instantiate(name, seed=seed))
+                seed += 1
+        chunks.append(chunk)
+    return chunks
+
+
+def pr1_warehouse(catalog) -> CostIntelligentWarehouse:
+    """A warehouse restricted to PR 1's serving semantics: exact-match
+    plan cache only (default capacity, misses and evicts on this
+    traffic), keys recomputed per submission, no DAG memo, per-candidate
+    DOP costing."""
+    warehouse = CostIntelligentWarehouse(catalog=catalog, parameterized_serving=False)
+    warehouse.optimizer._dag_memo = None
+    warehouse.optimizer.dop_planner.batched = False
+    return warehouse
+
+
+def run_literal_varying(catalog, chunks, constraints) -> tuple[dict, dict]:
+    """A/B the serving paths on literal-varying traffic.
+
+    Both modes run the full ``CostIntelligentWarehouse.plan`` path; the
+    reference is PR 1's configuration (its exact-match cache misses on
+    every arrival), the contender is the parameterized two-level cache.
+    Chunks are measured alternately.
+    """
+    reference = pr1_warehouse(catalog)
+    parameterized = CostIntelligentWarehouse(catalog=catalog, plan_cache_size=1024)
+    for warehouse in (reference, parameterized):
+        # Warmup: one out-of-band instantiation per template populates
+        # the skeleton cache (where present) and warms the interpreter.
+        for name in template_names():
+            warm = instantiate(name, seed=999)
+            for constraint in constraints:
+                warehouse.plan(warm, constraint)
+        warehouse.estimator.models.timing_computations = 0
+        warehouse.reset_cache_stats()
+    stage_times = parameterized.optimizer.stage_times
+
+    chunk_walls: dict[str, list[float]] = {"cached": [], "parameterized": []}
+    choices: dict[str, list] = {"cached": [], "parameterized": []}
+    pairing = [("cached", reference), ("parameterized", parameterized)]
+    for index, chunk in enumerate(chunks):
+        # Alternate which mode goes first so ordering bias (caches,
+        # frequency scaling) cancels across chunks.
+        ordering = pairing if index % 2 == 0 else pairing[::-1]
+        for mode, warehouse in ordering:
+            start = time.perf_counter()
+            for sql in chunk:
+                for constraint in constraints:
+                    choices[mode].append(warehouse.plan(sql, constraint)[1])
+            chunk_walls[mode].append(time.perf_counter() - start)
+
+    optimizes = sum(len(chunk) for chunk in chunks) * len(constraints)
+    chunk_optimizes = optimizes / len(chunks)
+
+    def result(mode: str, warehouse) -> dict:
+        walls = chunk_walls[mode]
+        wall = sum(walls)
+        # Noise on a shared/single-core runner is strictly additive, so
+        # (as timeit's docs recommend) the fastest chunk is the best
+        # estimator of the true cost; the total wall is reported
+        # alongside.
+        best = min(walls)
+        return {
+            "mode": mode,
+            "optimizes": optimizes,
+            "wall_s": wall,
+            "mean_optimize_s": best / chunk_optimizes,
+            "optimizes_per_s": chunk_optimizes / best,
+            "mean_optimize_total_s": wall / optimizes,
+            "timing_evaluations": warehouse.estimator.models.timing_computations,
+            "choices": choices[mode],
+        }
+
+    reference_result = result("cached", reference)
+    parameterized_result = result("parameterized", parameterized)
+    stages = {f"{name}_s": seconds for name, seconds in stage_times.items()}
+    stages["bind_and_serve_s"] = sum(chunk_walls["parameterized"]) - sum(
+        stage_times.values()
+    )
+    parameterized_result["stage_breakdown"] = stages
+    parameterized_result["caches"] = parameterized.describe_caches()
+    # Chunk-paired speedups: each chunk's two walls are adjacent in
+    # time, so slow-drifting machine noise cancels within the pair; the
+    # median over chunks resists the occasional scheduler spike.
+    parameterized_result["chunk_speedups"] = [
+        cached_wall / parameterized_wall
+        for cached_wall, parameterized_wall in zip(
+            chunk_walls["cached"], chunk_walls["parameterized"]
+        )
+    ]
+    return reference_result, parameterized_result
+
+
+def check_parity(reference_choices, fast_choices) -> int:
+    """Count plan/estimate mismatches between two choice sequences."""
     mismatches = 0
-    for a, b in zip(baseline_choices, cached_choices):
+    for a, b in zip(reference_choices, fast_choices):
         ea, eb = a.dop_plan.estimate, b.dop_plan.estimate
         same = (
             a.dop_plan.dops == b.dop_plan.dops
@@ -100,13 +265,34 @@ def check_parity(baseline_choices, cached_choices) -> int:
     return mismatches
 
 
+def fresh_reference_choices(catalog, workload, constraints) -> list:
+    """Bit-identity oracle for the literal-varying fast paths: a fresh
+    bind + full optimization (baseline flags) of every arrival."""
+    optimizer = fresh_optimizer(catalog, cached=False)
+    binder = Binder(catalog)
+    choices = []
+    for sql in workload:
+        bound = binder.bind_sql(sql)
+        for constraint in constraints:
+            choices.append(optimizer.optimize(bound, constraint))
+    return choices
+
+
+def print_result(result: dict) -> None:
+    print(
+        f"{result['mode']:>13}: {result['optimizes_per_s']:8.1f} optimizes/s, "
+        f"mean {result['mean_optimize_s'] * 1e3:6.2f} ms, "
+        f"{result['timing_evaluations']:6d} timing evaluations"
+    )
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
         "--quick", action="store_true", help="small pool + 1 round (CI smoke)"
     )
     parser.add_argument("--sf", type=float, default=100.0, help="stats scale factor")
-    parser.add_argument("--rounds", type=int, default=3, help="pool repetitions")
+    parser.add_argument("--rounds", type=int, default=8, help="pool repetitions")
     parser.add_argument(
         "--seeds", type=int, default=3, help="parameter instantiations per template"
     )
@@ -135,29 +321,53 @@ def main(argv: list[str] | None = None) -> int:
         for name in names
         for seed in range(1, args.seeds + 1)
     ]
-    constraints = [sla_constraint(SLA_SECONDS), budget_constraint(BUDGET_DOLLARS)]
+    constraints = list(CONSTRAINTS)
     print(
-        f"pool: {len(names)} templates x {args.seeds} seeds x "
+        f"fixed pool: {len(names)} templates x {args.seeds} seeds x "
         f"{len(constraints)} constraints, SF {args.sf:g}, {args.rounds} round(s)"
     )
 
-    baseline = run_pool(catalog, bounds, constraints, cached=False, rounds=args.rounds)
-    cached = run_pool(catalog, bounds, constraints, cached=True, rounds=args.rounds)
+    baseline, cached = run_fixed_pool(
+        catalog, bounds, constraints, rounds=args.rounds
+    )
     mismatches = check_parity(baseline.pop("choices"), cached.pop("choices"))
 
     speedup = baseline["mean_optimize_s"] / cached["mean_optimize_s"]
     reduction = baseline["timing_evaluations"] / max(1, cached["timing_evaluations"])
     for result in (baseline, cached):
-        print(
-            f"{result['mode']:>8}: {result['optimizes_per_s']:8.1f} optimizes/s, "
-            f"mean {result['mean_optimize_s'] * 1e3:6.2f} ms, "
-            f"{result['timing_evaluations']:6d} timing evaluations"
-        )
+        print_result(result)
     print(
         f"speedup {speedup:.2f}x wall, {reduction:.2f}x fewer timing evaluations, "
         f"{mismatches} parity mismatches"
     )
 
+    chunks = literal_varying_workload(names, seeds=args.seeds, rounds=args.rounds)
+    workload = [sql for chunk in chunks for sql in chunk]
+    print(
+        f"\nliteral-varying pool: {len(workload)} arrivals x "
+        f"{len(constraints)} constraints (every arrival has fresh constants)"
+    )
+    lv_cached, lv_param = run_literal_varying(catalog, chunks, constraints)
+    reference = fresh_reference_choices(catalog, workload, constraints)
+    lv_mismatches = check_parity(reference, lv_cached.pop("choices"))
+    param_mismatches = check_parity(reference, lv_param.pop("choices"))
+    param_speedup = lv_cached["mean_optimize_s"] / lv_param["mean_optimize_s"]
+    for result in (lv_cached, lv_param):
+        print_result(result)
+    stages = lv_param["stage_breakdown"]
+    print(
+        "parameterized stage breakdown: "
+        + ", ".join(f"{k[:-2]}={v * 1e3:.1f}ms" for k, v in stages.items())
+    )
+    skeleton = lv_param["caches"]["skeleton_cache"]
+    print(
+        f"parameterized speedup {param_speedup:.2f}x wall vs cached "
+        f"(best of {len(lv_param['chunk_speedups'])} interleaved chunks per mode), "
+        f"skeleton hit rate {skeleton['hit_rate']:.0%}, "
+        f"{lv_mismatches}+{param_mismatches} parity mismatches"
+    )
+
+    total_mismatches = mismatches + lv_mismatches + param_mismatches
     report = {
         "benchmark": "optimizer_throughput",
         "scale_factor": args.sf,
@@ -168,13 +378,17 @@ def main(argv: list[str] | None = None) -> int:
         "cached": cached,
         "speedup_wall": speedup,
         "timing_evaluation_reduction": reduction,
-        "parity_mismatches": mismatches,
+        "literal_varying_queries": len(workload) * len(constraints),
+        "cached_literal_varying": lv_cached,
+        "parameterized": lv_param,
+        "parameterized_speedup_wall": param_speedup,
+        "parity_mismatches": total_mismatches,
     }
     Path(args.output).write_text(json.dumps(report, indent=2) + "\n")
     print(f"wrote {args.output}")
 
-    if mismatches:
-        print("FAIL: cached path diverged from baseline plans/estimates")
+    if total_mismatches:
+        print("FAIL: a fast path diverged from fresh plans/estimates")
         return 1
     if args.sf < 100.0 and not args.no_assert:
         # Small catalogs shrink the DOP search (plans are cheap at DOP 1),
@@ -187,10 +401,17 @@ def main(argv: list[str] | None = None) -> int:
             # One noisy round on a shared runner can't support a
             # wall-clock assertion; quick mode gates on the
             # deterministic metrics (evaluation counts + parity) only.
-            print("note: --quick skips the wall-speedup floor (single round)")
-        elif speedup < SPEEDUP_FLOOR:
-            print(f"FAIL: wall speedup {speedup:.2f}x < {SPEEDUP_FLOOR}x floor")
-            return 1
+            print("note: --quick skips the wall-speedup floors (single round)")
+        else:
+            if speedup < SPEEDUP_FLOOR:
+                print(f"FAIL: wall speedup {speedup:.2f}x < {SPEEDUP_FLOOR}x floor")
+                return 1
+            if param_speedup < PARAMETERIZED_SPEEDUP_FLOOR:
+                print(
+                    f"FAIL: parameterized speedup {param_speedup:.2f}x "
+                    f"< {PARAMETERIZED_SPEEDUP_FLOOR}x floor"
+                )
+                return 1
         if reduction < TIMING_REDUCTION_FLOOR:
             print(
                 f"FAIL: timing-evaluation reduction {reduction:.2f}x "

@@ -34,6 +34,15 @@ def main() -> None:
             )
             t += 450.0
 
+    caches = warehouse.describe_caches()
+    skeleton = caches["skeleton_cache"]
+    print(
+        f"planning caches: skeleton level served {skeleton['hits']} of the "
+        f"{skeleton['hits'] + skeleton['misses']} literal-varying plans "
+        f"({skeleton['hit_rate']:.0%} hit rate) without re-running join "
+        "ordering"
+    )
+
     print("\n=== advisor proposals (What-If dollar reports) ===")
     proposals = warehouse.run_tuning_cycle(apply=True)
     print(proposals.describe())

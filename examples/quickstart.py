@@ -9,6 +9,7 @@ Run:  python examples/quickstart.py
 """
 
 from repro import CostIntelligentWarehouse, load_tpch, sla_constraint
+from repro.dop import budget_constraint
 
 def main() -> None:
     print("Loading TPC-H-like data (scale factor 0.01)...")
@@ -43,6 +44,15 @@ def main() -> None:
     print(outcome.choice.dag.describe())
     print("\n=== cost report ===")
     print(outcome.describe())
+    print(f"\nSLA honored: {outcome.constraint_met}")
+
+    budget = 0.001
+    print(f"\nResubmitting under a ${budget} budget instead:")
+    budgeted = warehouse.submit(sql, budget_constraint(budget))
+    print(
+        f"  latency={budgeted.latency:.2f}s cost=${budgeted.dollars:.5f}"
+        f"  budget honored: {budgeted.constraint_met}"
+    )
 
 
 if __name__ == "__main__":

@@ -1,22 +1,34 @@
-"""Serving-layer plan cache for the cost-intelligent warehouse.
+"""Serving-layer plan caches for the cost-intelligent warehouse.
 
 Analytical traffic is dominated by recurring report templates — the same
-SQL shapes resubmitted with the same constraints.  Re-running the
-bi-objective optimizer for each arrival wastes exactly the machine time
-the paper's economics are about, so the warehouse memoizes the full
-:class:`~repro.core.bioptimizer.PlanChoice` keyed on:
+SQL shapes resubmitted with *varying literals* under the same
+constraints.  Re-running the bi-objective optimizer for each arrival
+wastes exactly the machine time the paper's economics are about, so the
+warehouse memoizes planning work at two levels:
 
-- the *normalized* SQL text (token stream: whitespace, letter case, and
-  comments do not fragment the cache),
-- the user constraint (SLA seconds or budget dollars), and
-- the catalog's stats version.
+- **Exact level** (:class:`PlanCache`): the full
+  :class:`~repro.core.bioptimizer.PlanChoice` keyed on the *normalized*
+  SQL token stream (whitespace, letter case, and comments do not
+  fragment the cache), the user constraint, and the catalog's stats
+  version.  A verbatim resubmission pays nothing.
+- **Skeleton level** (:class:`SkeletonCache`): the template's *plan
+  skeleton* — the DP-chosen join tree plus its bushy variant shapes —
+  keyed on the literal-free template key
+  (:func:`~repro.sql.parameterize.parameterize_sql`), the constraint
+  kind, and the stats version.  A resubmission with new literals skips
+  join-order DP and bushy generation and re-runs only constant binding,
+  cardinality re-estimation over the cached shapes, and the incremental
+  DOP search — bit-identical to fresh optimization whenever the new
+  literals would lead the DP to the same shapes (enforced on the
+  workload suite by ``tests/cost/test_estimation_parity.py`` and the
+  benchmark's parity guard).
 
-The stats version inside the key is the invalidation story: any catalog
-mutation (stats refresh, recluster, MV creation, table DDL) bumps the
-version, so stale entries can never be served — they simply stop
-matching and age out of the LRU.  ``invalidate()`` exists for explicit
-flushes (e.g. hardware recalibration, which changes cost without
-touching the catalog).
+The stats version inside both keys is the invalidation story: any
+catalog mutation (stats refresh, recluster, MV creation, table DDL)
+bumps the version, so stale entries can never be served — they simply
+stop matching and age out of the LRU.  ``invalidate()`` exists for
+explicit flushes (e.g. hardware recalibration, which changes cost
+without touching the catalog).
 """
 
 from __future__ import annotations
@@ -24,50 +36,28 @@ from __future__ import annotations
 from collections import OrderedDict
 from typing import TYPE_CHECKING, Hashable
 
-from repro.sql.lexer import TokenType, tokenize
+from repro.sql.parameterize import normalize_sql  # noqa: F401  (re-export)
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.core.bioptimizer import PlanChoice
+    from repro.optimizer.join_order import JoinTree, Leaf
     from repro.sql.binder import BoundQuery
 
 
-def normalize_sql(sql: str) -> tuple:
-    """Whitespace/case/comment-insensitive identity of a SQL text.
+class _LruStats:
+    """Shared LRU bookkeeping: bounded OrderedDict + hit/miss counters."""
 
-    Returns the token stream as a hashable tuple of ``(kind, text)``
-    pairs; the lexer already lowercases keywords and identifiers and
-    drops comments, so formatting differences collapse to one key.
-    String and numeric literals keep their exact text — two queries with
-    different parameters are different plans.
-    """
-    return tuple(
-        (token.type.name, token.text)
-        for token in tokenize(sql)
-        if token.type is not TokenType.EOF
-    )
-
-
-class PlanCache:
-    """A bounded LRU of optimized plans.
-
-    Values are ``(bound_query, plan_choice)`` pairs: the bound query is
-    needed downstream for logging and template bookkeeping, and binding
-    is part of the work the cache amortizes.
-    """
-
-    def __init__(self, capacity: int = 256) -> None:
+    def __init__(self, capacity: int, name: str) -> None:
         if capacity < 1:
-            raise ValueError(f"plan cache capacity must be >= 1, got {capacity}")
+            raise ValueError(f"{name} capacity must be >= 1, got {capacity}")
         self.capacity = capacity
-        self._entries: OrderedDict[Hashable, tuple["BoundQuery", "PlanChoice"]] = (
-            OrderedDict()
-        )
+        self.name = name
+        self._entries: OrderedDict[Hashable, object] = OrderedDict()
         self.hits = 0
         self.misses = 0
         self.evictions = 0
 
-    # ------------------------------------------------------------------ #
-    def lookup(self, key: Hashable) -> tuple["BoundQuery", "PlanChoice"] | None:
+    def _get(self, key: Hashable):
         found = self._entries.get(key)
         if found is None:
             self.misses += 1
@@ -76,18 +66,23 @@ class PlanCache:
         self.hits += 1
         return found
 
-    def store(self, key: Hashable, bound: "BoundQuery", choice: "PlanChoice") -> None:
-        self._entries[key] = (bound, choice)
+    def _put(self, key: Hashable, value: object) -> None:
+        self._entries[key] = value
         self._entries.move_to_end(key)
         while len(self._entries) > self.capacity:
             self._entries.popitem(last=False)
             self.evictions += 1
 
     def invalidate(self) -> None:
-        """Drop every cached plan."""
+        """Drop every cached entry."""
         self._entries.clear()
 
-    # ------------------------------------------------------------------ #
+    def reset_stats(self) -> None:
+        """Zero the hit/miss/eviction counters (benchmark warmup)."""
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
     def __len__(self) -> int:
         return len(self._entries)
 
@@ -98,7 +93,64 @@ class PlanCache:
 
     def describe(self) -> str:
         return (
-            f"plan cache: {len(self._entries)}/{self.capacity} entries, "
+            f"{self.name}: {len(self._entries)}/{self.capacity} entries, "
             f"{self.hits} hits / {self.misses} misses "
             f"({self.hit_rate:.0%}), {self.evictions} evictions"
         )
+
+
+class PlanCache(_LruStats):
+    """A bounded LRU of optimized plans (the exact-match level).
+
+    Values are ``(bound_query, plan_choice)`` pairs: the bound query is
+    needed downstream for logging and template bookkeeping, and binding
+    is part of the work the cache amortizes.
+    """
+
+    def __init__(self, capacity: int = 256) -> None:
+        super().__init__(capacity, "plan cache")
+
+    def lookup(self, key: Hashable) -> tuple["BoundQuery", "PlanChoice"] | None:
+        return self._get(key)  # type: ignore[return-value]
+
+    def store(self, key: Hashable, bound: "BoundQuery", choice: "PlanChoice") -> None:
+        self._put(key, (bound, choice))
+
+
+class BindingCache(_LruStats):
+    """A bounded LRU of bound queries keyed on normalized SQL.
+
+    Binding is constraint-independent, so one entry serves every
+    constraint a query is planned under — and because the optimizer's
+    DAG-planning memo and the estimator's timing cache key on object
+    identity, reusing the *same* :class:`BoundQuery` across constraints
+    transitively shares physical planning and pipeline timings too.
+    """
+
+    def __init__(self, capacity: int = 256) -> None:
+        super().__init__(capacity, "binding cache")
+
+    def lookup(self, key: Hashable) -> "BoundQuery | None":
+        return self._get(key)  # type: ignore[return-value]
+
+    def store(self, key: Hashable, bound: "BoundQuery") -> None:
+        self._put(key, bound)
+
+
+class SkeletonCache(_LruStats):
+    """A bounded LRU of template plan skeletons (the parameterized level).
+
+    Values are tuples of join-tree shapes — the DP winner plus its bushy
+    variants, in the exact order the optimizer would generate them.
+    Shapes reference only table names and join edges (no literals), so
+    one entry serves every instantiation of the template.
+    """
+
+    def __init__(self, capacity: int = 256) -> None:
+        super().__init__(capacity, "skeleton cache")
+
+    def lookup(self, key: Hashable) -> tuple["JoinTree | Leaf", ...] | None:
+        return self._get(key)  # type: ignore[return-value]
+
+    def store(self, key: Hashable, trees: tuple["JoinTree | Leaf", ...]) -> None:
+        self._put(key, tuple(trees))

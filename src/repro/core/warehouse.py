@@ -15,7 +15,8 @@ from typing import Iterable
 
 from repro.catalog.catalog import Catalog
 from repro.core.bioptimizer import BiObjectiveOptimizer, PlanChoice
-from repro.core.plan_cache import PlanCache, normalize_sql
+from repro.core.plan_cache import BindingCache, PlanCache, SkeletonCache
+from repro.sql.parameterize import normalize_sql, parameterize_sql
 from repro.cost.estimator import CostEstimator
 from repro.cost.hardware import HardwareCalibration
 from repro.dop.constraints import Constraint
@@ -69,6 +70,17 @@ class QueryOutcome:
             return None
         return self.latency <= self.constraint.latency_sla
 
+    @property
+    def constraint_met(self) -> bool:
+        """Whether the outcome honored the user's constraint — the
+        latency SLA or the dollar budget, whichever was stated
+        (:attr:`sla_met` is ``None`` for budget-constrained queries;
+        this covers both kinds)."""
+        if self.constraint.is_sla:
+            return self.sla_met  # type: ignore[return-value]
+        assert self.constraint.budget is not None
+        return self.dollars <= self.constraint.budget
+
     def describe(self) -> str:
         from repro.util.units import fmt_dollars, fmt_duration
 
@@ -77,9 +89,8 @@ class QueryOutcome:
             f"plan: {self.choice.describe()}",
             f"outcome: latency={fmt_duration(self.latency)} "
             f"cost={fmt_dollars(self.dollars)}",
+            f"constraint met: {self.constraint_met}",
         ]
-        if self.sla_met is not None:
-            lines.append(f"SLA met: {self.sla_met}")
         return "\n".join(lines)
 
 
@@ -97,6 +108,7 @@ class CostIntelligentWarehouse:
         max_dop: int = 64,
         explore_bushy: bool = True,
         plan_cache_size: int = 256,
+        parameterized_serving: bool = True,
     ) -> None:
         if database is None and catalog is None:
             raise ReproError("provide a Database (with data) or a Catalog (stats-only)")
@@ -117,10 +129,25 @@ class CostIntelligentWarehouse:
         self.logs = QueryLogStore()
         self.clock = 0.0
         self._template_queries: dict[str, BoundQuery] = {}
-        #: Serving-layer plan cache keyed (normalized SQL, constraint,
-        #: stats version); ``plan_cache_size=0`` disables it.
+        #: Serving-layer plan caches; ``plan_cache_size=0`` disables both
+        #: levels.  Exact level: full plans keyed (normalized SQL,
+        #: constraint, stats version).  Skeleton level: template plan
+        #: skeletons keyed (literal-free template key, constraint kind,
+        #: stats version) — literal-varying resubmissions skip join-order
+        #: DP and bushy generation.
+        #: ``parameterized_serving=False`` reproduces the exact-match-only
+        #: serving path (PR 1 semantics) for A/B benchmarking: no
+        #: skeleton or binding level, keys recomputed per submission.
+        self.parameterized_serving = parameterized_serving
+        parameterized = parameterized_serving and plan_cache_size > 0
         self.plan_cache: PlanCache | None = (
             PlanCache(plan_cache_size) if plan_cache_size > 0 else None
+        )
+        self.skeleton_cache: SkeletonCache | None = (
+            SkeletonCache(plan_cache_size) if parameterized else None
+        )
+        self.binding_cache: BindingCache | None = (
+            BindingCache(plan_cache_size) if parameterized else None
         )
 
     # ------------------------------------------------------------------ #
@@ -207,28 +234,148 @@ class CostIntelligentWarehouse:
             outcomes.append(self.submit(sql, item_constraint, **submit_kwargs))
         return outcomes
 
+    def plan(
+        self, sql: str, constraint: Constraint, *, use_plan_cache: bool = True
+    ) -> tuple[BoundQuery, PlanChoice]:
+        """Bind + optimize one query without executing or logging it.
+
+        This is the serving-layer planning path :meth:`submit` uses —
+        exact plan-cache hit, then skeleton-cache hit (re-plan cached
+        join shapes under fresh literals), then full optimization.
+        """
+        return self._plan(sql, constraint, use_plan_cache)
+
     def _plan(
         self, sql: str, constraint: Constraint, use_plan_cache: bool
     ) -> tuple[BoundQuery, PlanChoice]:
-        """Bind + optimize, via the plan cache when possible."""
-        key = None
-        if use_plan_cache and self.plan_cache is not None:
+        """Bind + optimize, via the two-level plan cache when possible."""
+        if not use_plan_cache or self.plan_cache is None:
+            bound = self.binder.bind_sql(sql)
+            return bound, self.optimizer.optimize(bound, constraint)
+
+        if not self.parameterized_serving:
+            # PR 1 serving semantics: exact-match level only, key
+            # recomputed per submission, fresh bind on every miss.
             key = (normalize_sql(sql), constraint, self.catalog.version)
             cached = self.plan_cache.lookup(key)
             if cached is not None:
                 return cached
-        bound = self.binder.bind_sql(sql)
-        choice = self.optimizer.optimize(bound, constraint)
-        if key is not None:
+            bound = self.binder.bind_sql(sql)
+            choice = self.optimizer.optimize(bound, constraint)
             self.plan_cache.store(key, bound, choice)
+            return bound, choice
+
+        version = self.catalog.version
+        parameterized = parameterize_sql(sql)
+        normalized = parameterized.normalized
+        exact_key = (normalized, constraint, version)
+        cached = self.plan_cache.lookup(exact_key)
+        if cached is not None:
+            return cached
+
+        # Binding (and, via the optimizer's DAG memo keyed on the bound
+        # object, physical planning) is constraint-independent: reuse it
+        # when the same query arrives under a second constraint.
+        bound = None
+        binding_key = (normalized, version)
+        if self.binding_cache is not None:
+            bound = self.binding_cache.lookup(binding_key)
+        if bound is None:
+            # Reuse the parameterization already lexed for the cache
+            # keys: recurring templates bind from a cached template AST
+            # with the fresh constants substituted (no lex, no parse).
+            bound = self.binder.bind_parameterized(
+                parameterized.template_key, parameterized.constants, sql=sql
+            )
+            if self.binding_cache is not None:
+                self.binding_cache.store(binding_key, bound)
+        skeleton_key = None
+        trees = None
+        if self.skeleton_cache is not None:
+            # The constraint kind is conservative key hygiene (DAG
+            # planning never reads the constraint); it costs one extra
+            # DP per template and kind.  Skeleton reuse trusts the
+            # template's join shapes to be stable under literal changes
+            # — enforced for the workload suite by the parity tests and
+            # the benchmark guard; a template whose literals swing the
+            # join-order DP would be re-planned on its cached shapes.
+            kind = "sla" if constraint.is_sla else "budget"
+            skeleton_key = (parameterized.template_key, kind, version)
+            trees = self.skeleton_cache.lookup(skeleton_key)
+        choice = self.optimizer.optimize(bound, constraint, skeleton_trees=trees)
+        if skeleton_key is not None and trees is None:
+            # variant_trees() reads the optimizer's DAG memo — no rework.
+            self.skeleton_cache.store(
+                skeleton_key, self.optimizer.variant_trees(bound)
+            )
+        self.plan_cache.store(exact_key, bound, choice)
         return bound, choice
 
     def invalidate_plan_cache(self) -> None:
-        """Explicitly flush cached plans (catalog mutations invalidate
-        automatically via the stats version; use this after out-of-band
-        changes such as hardware recalibration)."""
+        """Explicitly flush cached plans and skeletons (catalog mutations
+        invalidate automatically via the stats version; use this after
+        out-of-band changes such as hardware recalibration)."""
         if self.plan_cache is not None:
             self.plan_cache.invalidate()
+        if self.skeleton_cache is not None:
+            self.skeleton_cache.invalidate()
+        if self.binding_cache is not None:
+            self.binding_cache.invalidate()
+
+    def reset_cache_stats(self) -> None:
+        """Zero all cache and optimizer counters without dropping
+        entries (benchmark warmup: report steady-state rates only)."""
+        for cache in (self.plan_cache, self.skeleton_cache, self.binding_cache):
+            if cache is not None:
+                cache.reset_stats()
+        if self.estimator.models.cache is not None:
+            self.estimator.models.cache.stats.reset()
+        self.optimizer.dag_memo_hits = 0
+        self.optimizer.dag_plans = 0
+        for stage in self.optimizer.stage_times:
+            self.optimizer.stage_times[stage] = 0.0
+
+    def describe_caches(self) -> dict[str, dict[str, float | int]]:
+        """Hit-rate observability across the serving-layer caches.
+
+        Reports the exact plan cache, the template skeleton cache, and
+        the estimator's timing/volume caches — the numbers the
+        throughput benchmark records next to its speedups.
+        """
+        report: dict[str, dict[str, float | int]] = {}
+        for label, cache in (
+            ("plan_cache", self.plan_cache),
+            ("skeleton_cache", self.skeleton_cache),
+            ("binding_cache", self.binding_cache),
+        ):
+            if cache is None:
+                continue
+            report[label] = {
+                "entries": len(cache),
+                "capacity": cache.capacity,
+                "hits": cache.hits,
+                "misses": cache.misses,
+                "evictions": cache.evictions,
+                "hit_rate": cache.hit_rate,
+            }
+        timing_cache = self.estimator.models.cache
+        if timing_cache is not None:
+            stats = timing_cache.stats
+            timing_total = stats.timing_hits + stats.timing_computations
+            volume_total = stats.volume_hits + stats.volume_computations
+            report["timing_cache"] = {
+                "timing_hits": stats.timing_hits,
+                "timing_computations": stats.timing_computations,
+                "timing_hit_rate": (
+                    stats.timing_hits / timing_total if timing_total else 0.0
+                ),
+                "volume_hits": stats.volume_hits,
+                "volume_computations": stats.volume_computations,
+                "volume_hit_rate": (
+                    stats.volume_hits / volume_total if volume_total else 0.0
+                ),
+            }
+        return report
 
     def _simulate(
         self,

@@ -24,20 +24,40 @@ as cache-friendly pure functions with memoization at three levels:
   :mod:`repro.cost.timing_cache`): pure in ``(pipeline, dop,
   overrides)``; memoized in weak per-pipeline dictionaries so entries
   die with their plan.  The DOP planner's incremental coster then
-  re-times only the pipeline a candidate move changed and re-runs the
-  cheap ASAP schedule (:func:`repro.cost.query_simulator.schedule_timings`).
-- **plans** (:mod:`repro.core.plan_cache`): the serving layer memoizes
-  whole ``PlanChoice``s keyed on (normalized SQL, constraint, catalog
-  stats version).
+  re-times only the pipeline a candidate move changed, and its batched
+  greedy rounds price a whole round of candidate moves with one lean
+  :class:`repro.cost.query_simulator.ScheduleSweeper` pass (plus a
+  critical-path prune that skips candidates provably unable to reduce
+  latency) instead of per-candidate full schedules.
+- **DAG planning** (:mod:`repro.core.bioptimizer`): join-tree variants,
+  physical plans, and pipeline decompositions are memoized per bound
+  query (weakly) — the user constraint never enters DAG planning, so a
+  second constraint on the same query re-runs only the DOP search.
+- **plans** (:mod:`repro.core.plan_cache`): the serving layer is a
+  *two-level* cache.  The exact level memoizes whole ``PlanChoice``s
+  keyed on (normalized SQL token stream, constraint, catalog stats
+  version).  The skeleton level keys the template's *plan skeleton* —
+  the DP-chosen join tree plus bushy variant shapes — on the
+  literal-free template key
+  (:func:`repro.sql.parameterize.parameterize_sql`), the constraint
+  kind, and the stats version, so literal-varying report traffic skips
+  join-order DP and bushy generation and re-runs only constant binding
+  (itself served from a per-template AST cache), cardinality
+  re-estimation, and the incremental DOP search.  A binding cache
+  (normalized SQL -> bound query) makes the second constraint on one
+  arrival share binding, the DAG memo, and all pipeline timings.
 
 Invalidation: cached volumes/timings key on the cardinality-overrides
 mapping, so new observations never see stale numbers; catalog mutations
-bump ``Catalog.version``, which invalidates plan-cache entries by
-construction; ``CostEstimator.invalidate_caches()`` handles the one
-out-of-band case (hardware/exchange recalibration).  Caching is
-bit-identical to the uncached path — enforced by
-``tests/cost/test_estimation_parity.py`` and the A/B guard in
-``benchmarks/bench_optimizer_throughput.py``.
+bump ``Catalog.version``, which invalidates exact, skeleton, and
+binding entries by construction; ``CostEstimator.invalidate_caches()``
+handles the one out-of-band case (hardware/exchange recalibration).
+Caching is bit-identical to the uncached path — enforced by
+``tests/cost/test_estimation_parity.py`` (including literal-varying
+skeleton reuse and batched-vs-per-candidate DOP rounds) and the A/B
+guard in ``benchmarks/bench_optimizer_throughput.py``.
+``CostIntelligentWarehouse.describe_caches()`` reports hit rates across
+every level.
 """
 
 from repro.cost.hardware import HardwareCalibration

@@ -161,7 +161,17 @@ class OperatorModels:
         node = volume.op.node
         hw = self.hw
         cores = hw.node.cores
-        label = f"{node.describe()}[{role}]"
+        # The label is pure presentation but op_time runs once per
+        # (operator, DOP) probed by the DOP search; cache it per node so
+        # describe() is not re-rendered for every DOP.
+        labels = node.__dict__.get("_op_labels")
+        if labels is None:
+            labels = {}
+            node.__dict__["_op_labels"] = labels
+        label = labels.get(role)
+        if label is None:
+            label = f"{node.describe()}[{role}]"
+            labels[role] = label
 
         if role == ROLE_SOURCE_SCAN:
             scan_s = volume.bytes_in / (dop * hw.scan_bytes_per_node)

@@ -122,7 +122,10 @@ class TimingCache:
             sensitive = volumes_depend_on_dop(pipeline)
             self._dop_sensitive[pipeline] = sensitive
         key = (dop if sensitive else 0, overrides_key(overrides))
-        per_pipeline = self._volumes.setdefault(pipeline, {})
+        per_pipeline = self._volumes.get(pipeline)
+        if per_pipeline is None:
+            per_pipeline = {}
+            self._volumes[pipeline] = per_pipeline
         found = per_pipeline.get(key)
         if found is None:
             self.stats.volume_computations += 1
@@ -141,7 +144,10 @@ class TimingCache:
     ) -> "PipelineTiming":
         """Memoized pipeline timing; ``compute`` runs on a miss."""
         key = (dop, overrides_key(overrides))
-        per_pipeline = self._timings.setdefault(pipeline, {})
+        per_pipeline = self._timings.get(pipeline)
+        if per_pipeline is None:
+            per_pipeline = {}
+            self._timings[pipeline] = per_pipeline
         found = per_pipeline.get(key)
         if found is None:
             self.stats.timing_computations += 1

@@ -22,6 +22,7 @@ from dataclasses import dataclass, field
 from repro.cost.estimate import CostEstimate
 from repro.cost.estimator import CostEstimator
 from repro.cost.operator_models import PipelineTiming
+from repro.cost.query_simulator import ScheduleSweeper
 from repro.dop.cofinish import equalize_siblings
 from repro.dop.constraints import Constraint
 from repro.errors import EstimationError, InfeasibleConstraintError
@@ -49,6 +50,8 @@ class _IncrementalCoster:
         self.dag = dag
         self.overrides = overrides
         self._timings: dict[tuple[int, int], PipelineTiming] = {}
+        self._sweeper: ScheduleSweeper | None = None
+        self._scan_dollars = 0.0
         self.evaluations = 0
 
     def estimate(self, dops: dict[int, int]) -> CostEstimate:
@@ -59,12 +62,93 @@ class _IncrementalCoster:
             dop = dops.get(pid)
             if dop is None:
                 raise EstimationError(f"no DOP for pipeline {pid}")
-            timing = self._timings.get((pid, dop))
+            timings[pid] = self._timing(pipeline, dop)
+        return self.estimator.estimate_schedule(self.dag, dops, timings)
+
+    def _timing(self, pipeline, dop: int) -> PipelineTiming:
+        key = (pipeline.pipeline_id, dop)
+        timing = self._timings.get(key)
+        if timing is None:
+            timing = self.estimator.pipeline_timing(pipeline, dop, self.overrides)
+            self._timings[key] = timing
+        return timing
+
+    def sweep(
+        self,
+        dops: dict[int, int],
+        candidates: list[tuple[int, int]],
+        prune_gainless: bool = False,
+    ) -> list[tuple[float, float]]:
+        """``(latency, total_dollars)`` per ``(pid, new_dop)`` candidate.
+
+        One timing evaluation per candidate (the changed pipeline at its
+        new DOP; everything else is already memoized) plus a single lean
+        :class:`~repro.cost.query_simulator.ScheduleSweeper` pass — the
+        batched greedy round's replacement for per-candidate full
+        schedules.  Metrics are bit-identical to per-candidate
+        :meth:`estimate` calls.
+
+        ``prune_gainless`` (gain-scored growth rounds only): candidates
+        provably unable to reduce latency — their pipeline is not an
+        ancestor of the whole critical set — are neither timed nor
+        scheduled; they report the base metrics, which the caller's
+        ``gain > epsilon`` test discards exactly as if they had been
+        costed.
+        """
+        self.evaluations += len(candidates)
+        if self._sweeper is None:
+            self._sweeper = ScheduleSweeper(self.dag, self.estimator.models)
+            self._scan_dollars = self.estimator.scan_request_dollars(self.dag)
+        sweeper = self._sweeper
+        timings = self._timings  # inlined hot path of _timing()
+        dop_list: list[int] = []
+        durations: list[float] = []
+        for pipeline in self.dag:
+            pid = pipeline.pipeline_id
+            dop = dops[pid]
+            dop_list.append(dop)
+            timing = timings.get((pid, dop))
             if timing is None:
                 timing = self.estimator.pipeline_timing(pipeline, dop, self.overrides)
-                self._timings[(pid, dop)] = timing
-            timings[pid] = timing
-        return self.estimator.estimate_schedule(self.dag, dops, timings)
+                timings[(pid, dop)] = timing
+            durations.append(timing.duration)
+        index = sweeper.index
+        rate = self.estimator.price_per_node_second
+        scan_dollars = self._scan_dollars
+
+        keep = None
+        state = None
+        base_metric: tuple[float, float] | None = None
+        if prune_gainless:
+            keep, base_latency, base_machine, state = sweeper.filter_gainful(
+                dop_list,
+                durations,
+                [(index[pid], new_dop) for pid, new_dop in candidates],
+            )
+            base_metric = (base_latency, base_machine * rate + scan_dollars)
+            if not any(keep):
+                return [base_metric] * len(candidates)
+
+        moves: list[tuple[int, int, float]] = []
+        for position, (pid, new_dop) in enumerate(candidates):
+            if keep is not None and not keep[position]:
+                continue
+            timing = timings.get((pid, new_dop))
+            if timing is None:
+                timing = self.estimator.pipeline_timing(
+                    self.dag.pipeline(pid), new_dop, self.overrides
+                )
+                timings[(pid, new_dop)] = timing
+            moves.append((index[pid], new_dop, timing.duration))
+        swept = iter(sweeper.sweep(dop_list, durations, moves, state))
+        results: list[tuple[float, float]] = []
+        for position in range(len(candidates)):
+            if keep is not None and not keep[position]:
+                results.append(base_metric)  # type: ignore[arg-type]
+            else:
+                latency, machine_seconds = next(swept)
+                results.append((latency, machine_seconds * rate + scan_dollars))
+        return results
 
 
 class _NaiveCoster:
@@ -118,11 +202,16 @@ class DopPlanner:
         max_dop: int = 64,
         enforce_sla_strictly: bool = False,
         incremental: bool = True,
+        batched: bool = True,
     ) -> None:
         self.estimator = estimator
         self.max_dop = max_dop
         self.enforce_sla_strictly = enforce_sla_strictly
         self.incremental = incremental
+        #: Cost whole greedy growth rounds with one lean schedule sweep
+        #: (requires the incremental coster); ``batched=False`` keeps the
+        #: per-candidate full schedules for A/B parity checks.
+        self.batched = batched
 
     # ------------------------------------------------------------------ #
     # Entry point
@@ -165,67 +254,182 @@ class DopPlanner:
     ) -> tuple[dict[int, int], bool]:
         sla = constraint.bound()
         dops = {p.pipeline_id: 1 for p in dag}
-        current = coster.estimate(dops)
+        latency, dollars = self._assignment_metrics(dops, coster)
 
         # Phase 1: grow until the SLA is met or no move helps.
-        while current.latency > sla:
-            move = self._best_growth_move(dops, current, coster)
+        while latency > sla:
+            move = self._best_growth_move(dops, latency, dollars, coster)
             if move is None:
                 break
-            dops, current = move
-        feasible = current.latency <= sla
+            dops, latency, dollars = move
+        feasible = latency <= sla
 
         # Phase 2: co-finish polish (never increases latency).
         polished = equalize_siblings(
             dag, dops, self.estimator.models, max_dop=self.max_dop, overrides=overrides
         )
         if polished != dops:
-            candidate = coster.estimate(polished)
-            if candidate.latency <= max(current.latency, sla):
-                dops, current = polished, candidate
+            polished_latency, polished_dollars = self._assignment_metrics(
+                polished, coster
+            )
+            if polished_latency <= max(latency, sla):
+                dops = polished
+                latency, dollars = polished_latency, polished_dollars
 
         # Phase 3: trim DOPs whose halving keeps the SLA and saves money.
+        if self.batched and isinstance(coster, _IncrementalCoster):
+            dops = self._trim_batched(dops, latency, dollars, sla, feasible, coster)
+        else:
+            improved = True
+            while improved:
+                improved = False
+                for pid in sorted(dops):
+                    if dops[pid] <= 1:
+                        continue
+                    halved = max(1, dops[pid] // 2)
+                    trial_latency, trial_dollars = self._move_metrics(
+                        dops, pid, halved, coster
+                    )
+                    if trial_dollars < dollars and (
+                        trial_latency <= sla or not feasible
+                    ):
+                        dops = dict(dops)
+                        dops[pid] = halved
+                        latency, dollars = trial_latency, trial_dollars
+                        improved = True
+        return dops, feasible
+
+    def _trim_batched(
+        self,
+        dops: dict[int, int],
+        latency: float,
+        dollars: float,
+        sla: float,
+        feasible: bool,
+        coster: _IncrementalCoster,
+    ) -> dict[int, int]:
+        """Phase-3 trim with whole-scan sweeps.
+
+        Reproduces the sequential-greedy trim exactly: each pipeline is
+        considered once per round in ascending id order and an accepted
+        halving takes effect immediately.  A sweep evaluates every
+        not-yet-visited candidate against the *current* assignment; the
+        first acceptance invalidates the rest of the sweep, so the scan
+        resumes just after it with a fresh sweep.  The common final
+        round (nothing improves) collapses from one schedule per
+        pipeline to a single sweep.
+        """
+        pids = sorted(dops)
         improved = True
         while improved:
             improved = False
-            for pid in sorted(dops):
-                if dops[pid] <= 1:
-                    continue
-                trial = dict(dops)
-                trial[pid] = max(1, dops[pid] // 2)
-                estimate = coster.estimate(trial)
-                if (
-                    estimate.total_dollars < current.total_dollars
-                    and (estimate.latency <= sla or not feasible)
+            position = 0
+            while position < len(pids):
+                candidates = [
+                    (pid, dops[pid] // 2) for pid in pids[position:] if dops[pid] > 1
+                ]
+                if not candidates:
+                    break
+                applied = False
+                for (pid, halved), (trial_latency, trial_dollars) in zip(
+                    candidates, coster.sweep(dops, candidates)
                 ):
-                    dops, current = trial, estimate
-                    improved = True
-        return dops, feasible
+                    if trial_dollars < dollars and (
+                        trial_latency <= sla or not feasible
+                    ):
+                        dops = dict(dops)
+                        dops[pid] = halved
+                        latency, dollars = trial_latency, trial_dollars
+                        improved = True
+                        applied = True
+                        position = pids.index(pid) + 1
+                        break
+                if not applied:
+                    break
+        return dops
+
+    def _move_metrics(
+        self,
+        dops: dict[int, int],
+        pid: int,
+        new_dop: int,
+        coster: _IncrementalCoster | _NaiveCoster,
+    ) -> tuple[float, float]:
+        """``(latency, total_dollars)`` of one single-pipeline move."""
+        if self.batched and isinstance(coster, _IncrementalCoster):
+            return coster.sweep(dops, [(pid, new_dop)])[0]
+        trial = dict(dops)
+        trial[pid] = new_dop
+        estimate = coster.estimate(trial)
+        return estimate.latency, estimate.total_dollars
+
+    def _assignment_metrics(
+        self,
+        dops: dict[int, int],
+        coster: _IncrementalCoster | _NaiveCoster,
+    ) -> tuple[float, float]:
+        """``(latency, total_dollars)`` of a whole assignment.
+
+        Batched mode evaluates it as a sweep over one no-op move (the
+        base assignment is ``dops`` itself), reusing the bit-identical
+        lean scheduling path instead of materializing a full estimate.
+        """
+        if self.batched and isinstance(coster, _IncrementalCoster):
+            pid = next(iter(dops))
+            return coster.sweep(dops, [(pid, dops[pid])])[0]
+        estimate = coster.estimate(dops)
+        return estimate.latency, estimate.total_dollars
 
     def _best_growth_move(
         self,
         dops: dict[int, int],
-        current: CostEstimate,
+        current_latency: float,
+        current_dollars: float,
         coster: _IncrementalCoster | _NaiveCoster,
-    ) -> tuple[dict[int, int], CostEstimate] | None:
-        """The doubling with the best latency gain per added dollar."""
-        best: tuple[float, dict[int, int], CostEstimate] | None = None
-        for pid in dops:
-            if dops[pid] >= self.max_dop:
+        budget: float | None = None,
+    ) -> tuple[dict[int, int], float, float] | None:
+        """The doubling with the best latency gain per added dollar.
+
+        With ``budget`` set (budget mode), moves that break the budget
+        are discarded.  Returns the mutated assignment plus its metrics.
+        Batched mode scores the whole round from one sweep; the metrics
+        are bit-identical to per-candidate full estimates, so the winner
+        (and therefore the search trajectory) is exactly the
+        per-candidate one.
+        """
+        candidates = [
+            (pid, min(self.max_dop, dops[pid] * 2))
+            for pid in dops
+            if dops[pid] < self.max_dop
+        ]
+        if not candidates:
+            return None
+        if self.batched and isinstance(coster, _IncrementalCoster):
+            metrics = coster.sweep(dops, candidates, prune_gainless=True)
+        else:
+            metrics = []
+            for pid, new_dop in candidates:
+                trial = dict(dops)
+                trial[pid] = new_dop
+                estimate = coster.estimate(trial)
+                metrics.append((estimate.latency, estimate.total_dollars))
+
+        best: tuple[float, int, int, float, float] | None = None
+        for (pid, new_dop), (latency, dollars) in zip(candidates, metrics):
+            if budget is not None and dollars > budget:
                 continue
-            trial = dict(dops)
-            trial[pid] = min(self.max_dop, dops[pid] * 2)
-            estimate = coster.estimate(trial)
-            gain = current.latency - estimate.latency
+            gain = current_latency - latency
             if gain <= 1e-9:
                 continue
-            extra = max(1e-12, estimate.total_dollars - current.total_dollars)
+            extra = max(1e-12, dollars - current_dollars)
             score = gain / extra
             if best is None or score > best[0]:
-                best = (score, trial, estimate)
+                best = (score, pid, new_dop, latency, dollars)
         if best is None:
             return None
-        return best[1], best[2]
+        trial = dict(dops)
+        trial[best[1]] = best[2]
+        return trial, best[3], best[4]
 
     # ------------------------------------------------------------------ #
     # Budget mode: min latency s.t. dollars <= budget
@@ -239,40 +443,27 @@ class DopPlanner:
     ) -> tuple[dict[int, int], bool]:
         budget = constraint.bound()
         dops = {p.pipeline_id: 1 for p in dag}
-        current = coster.estimate(dops)
-        if current.total_dollars > budget:
+        latency, dollars = self._assignment_metrics(dops, coster)
+        if dollars > budget:
             # Even the minimal assignment exceeds the budget.
             return dops, False
 
         while True:
-            best: tuple[float, dict[int, int], CostEstimate] | None = None
-            for pid in dops:
-                if dops[pid] >= self.max_dop:
-                    continue
-                trial = dict(dops)
-                trial[pid] = min(self.max_dop, dops[pid] * 2)
-                estimate = coster.estimate(trial)
-                if estimate.total_dollars > budget:
-                    continue
-                gain = current.latency - estimate.latency
-                if gain <= 1e-9:
-                    continue
-                extra = max(1e-12, estimate.total_dollars - current.total_dollars)
-                score = gain / extra
-                if best is None or score > best[0]:
-                    best = (score, trial, estimate)
-            if best is None:
+            move = self._best_growth_move(dops, latency, dollars, coster, budget)
+            if move is None:
                 break
-            dops, current = best[1], best[2]
+            dops, latency, dollars = move
 
         polished = equalize_siblings(
             dag, dops, self.estimator.models, max_dop=self.max_dop, overrides=overrides
         )
         if polished != dops:
-            candidate = coster.estimate(polished)
+            polished_latency, polished_dollars = self._assignment_metrics(
+                polished, coster
+            )
             if (
-                candidate.total_dollars <= budget
-                and candidate.latency <= current.latency + 1e-9
+                polished_dollars <= budget
+                and polished_latency <= latency + 1e-9
             ):
                 dops = polished
         return dops, True

@@ -11,6 +11,7 @@ job, applied to this DAG (and to its bushy variants) afterwards.
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
+from weakref import WeakKeyDictionary
 
 from repro.catalog.catalog import Catalog
 from repro.errors import OptimizerError
@@ -68,6 +69,31 @@ class DagPlanner:
         self.estimator = CardinalityEstimator(catalog)
         self.broadcast_threshold = broadcast_threshold
         self.left_deep_only = left_deep_only
+        # Per-query memo of table predicates, base-relation estimates,
+        # and join estimates: every join-tree variant of one query
+        # re-plans the same scans, and bushy generation asks for the
+        # same base relations again.  Entries die with the bound query
+        # (weak keys) and are discarded when the catalog version moves,
+        # so a stats refresh between plans of the same query can never
+        # serve stale estimates.
+        self._per_query: "WeakKeyDictionary[BoundQuery, tuple[int, dict]]" = (
+            WeakKeyDictionary()
+        )
+
+    def _query_memo(self, query: BoundQuery) -> dict:
+        version = self.catalog.version
+        entry = self._per_query.get(query)
+        if entry is None or entry[0] != version:
+            entry = (version, {})
+            self._per_query[query] = entry
+        return entry[1]
+
+    def _table_predicate(self, query: BoundQuery, table: str) -> Expr | None:
+        memo = self._query_memo(query)
+        key = ("predicate", table)
+        if key not in memo:
+            memo[key] = make_and(query.filters.get(table, []))
+        return memo[key]
 
     # ------------------------------------------------------------------ #
     # Entry points
@@ -103,21 +129,35 @@ class DagPlanner:
     # Scans
     # ------------------------------------------------------------------ #
     def base_relation(self, query: BoundQuery, table: str) -> EstimatedRelation:
-        predicate = make_and(query.filters.get(table, []))
-        return self.estimator.base_relation(
-            table, predicate, query.columns_needed(table)
-        )
+        memo = self._query_memo(query)
+        key = ("base", table)
+        found = memo.get(key)
+        if found is None:
+            found = self.estimator.base_relation(
+                table,
+                self._table_predicate(query, table),
+                query.columns_needed(table),
+            )
+            memo[key] = found
+        return found
 
     def _plan_scan(self, query: BoundQuery, table: str) -> _Stream:
         entry = self.catalog.table(table)
-        predicate = make_and(query.filters.get(table, []))
+        predicate = self._table_predicate(query, table)
         columns = query.columns_needed(table)
         if not columns:
             # A table used only for its existence (e.g. key-only join):
             # keep its primary key so the scan has output.
             columns = tuple(entry.schema.primary_key) or (entry.schema.columns[0].name,)
-        rel = self.estimator.base_relation(table, predicate, columns)
-        fraction = self.estimator.scan_partition_fraction(table, predicate)
+            rel = self.estimator.base_relation(table, predicate, columns)
+        else:
+            rel = self.base_relation(query, table)
+        memo = self._query_memo(query)
+        fraction_key = ("fraction", table)
+        fraction = memo.get(fraction_key)
+        if fraction is None:
+            fraction = self.estimator.scan_partition_fraction(table, predicate)
+            memo[fraction_key] = fraction
 
         read_columns = set(columns)
         if predicate is not None:
@@ -152,10 +192,47 @@ class DagPlanner:
         edges = list(tree.edges)
         if not edges:
             raise OptimizerError("join tree node without edges")
-        return self._build_hash_join(left, right, edges)
+        return self._build_hash_join(left, right, edges, query=query)
+
+    def _join_relation(
+        self,
+        build: _Stream,
+        probe: _Stream,
+        edges: list[JoinEdge],
+        query: BoundQuery | None,
+    ) -> EstimatedRelation:
+        """Join cardinality estimate, memoized per query.
+
+        Bushy variants of one query share join prefixes; the estimate
+        is a pure function of the two input relations and the edges.
+        The key uses the input relations' *object identities*: scans
+        and joins are themselves memoized per query, so structurally
+        identical subtrees hand back the same relation objects, while
+        differently-shaped subtrees over the same tables (which carry
+        different rows/ndv) get distinct keys.  The memo holds strong
+        references to every keyed relation, so ids cannot be recycled
+        while the entry lives.
+        """
+        if query is None:
+            return self.estimator.join(build.rel, probe.rel, edges)
+        memo = self._query_memo(query)
+        key = ("join", id(build.rel), id(probe.rel), tuple(edges))
+        entry = memo.get(key)
+        if entry is None:
+            entry = (
+                self.estimator.join(build.rel, probe.rel, edges),
+                build.rel,
+                probe.rel,
+            )
+            memo[key] = entry
+        return entry[0]
 
     def _build_hash_join(
-        self, left: _Stream, right: _Stream, edges: list[JoinEdge]
+        self,
+        left: _Stream,
+        right: _Stream,
+        edges: list[JoinEdge],
+        query: BoundQuery | None = None,
     ) -> _Stream:
         # Build on the smaller estimated side.
         if left.rel.bytes <= right.rel.bytes:
@@ -176,7 +253,7 @@ class DagPlanner:
             else:
                 raise OptimizerError(f"edge {edge} does not connect join inputs")
 
-        joined_rel = self.estimator.join(build.rel, probe.rel, edges)
+        joined_rel = self._join_relation(build, probe, edges, query)
         broadcast = build.rel.bytes < self.broadcast_threshold
 
         build_node = build.node
@@ -276,7 +353,9 @@ class DagPlanner:
             )
             for name in agg_names:
                 rel.ndv[name] = groups
-            return _Stream(final, rel, stream.partition_cols)
+            return self._apply_having(
+                query, _Stream(final, rel, stream.partition_cols)
+            )
 
         partial = PhysAggregate(
             child=stream.node,

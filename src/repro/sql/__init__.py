@@ -10,6 +10,13 @@ enough to express the TPC-H-style workloads used in the experiments.
 from repro.sql.lexer import Token, TokenType, tokenize
 from repro.sql.parser import parse
 from repro.sql.binder import Binder, BoundQuery, JoinEdge, TableRef
+from repro.sql.parameterize import (
+    ParameterizedSQL,
+    bind_constants,
+    normalize_sql,
+    parameterize_sql,
+    render_sql,
+)
 
 __all__ = [
     "Token",
@@ -20,4 +27,9 @@ __all__ = [
     "BoundQuery",
     "JoinEdge",
     "TableRef",
+    "ParameterizedSQL",
+    "bind_constants",
+    "normalize_sql",
+    "parameterize_sql",
+    "render_sql",
 ]

@@ -42,7 +42,7 @@ from repro.sql.ast_nodes import (
     AstSelect,
     AstUnary,
 )
-from repro.sql.parser import parse
+from repro.sql.parser import parse, parse_parameterized
 
 
 @dataclass(frozen=True)
@@ -65,13 +65,17 @@ class JoinEdge:
         return (self.left.table, self.right.table)
 
 
-@dataclass
+@dataclass(eq=False)
 class BoundQuery:
     """A bound query graph ready for optimization.
 
     For aggregating queries, ``select_exprs`` and ``having`` live in the
     *post-aggregate* namespace: group keys keep their column names and
     each aggregate is exposed under its generated name in ``agg_names``.
+
+    Identity semantics (``eq=False``): bound queries are compared and
+    hashed by object identity so the optimizer's DAG-planning memo can
+    key weak per-query entries on them.
     """
 
     sql: str
@@ -98,7 +102,19 @@ class BoundQuery:
         return [t.name for t in self.tables]
 
     def columns_needed(self, table: str) -> tuple[str, ...]:
-        """Columns of ``table`` referenced anywhere in the query."""
+        """Columns of ``table`` referenced anywhere in the query.
+
+        Memoized per table: the planner asks once per join-tree variant
+        and the query graph is immutable after binding.
+        """
+        cache = self.__dict__.setdefault("_columns_needed", {})
+        found = cache.get(table)
+        if found is None:
+            found = self._compute_columns_needed(table)
+            cache[table] = found
+        return found
+
+    def _compute_columns_needed(self, table: str) -> tuple[str, ...]:
         needed: set[str] = set()
         exprs: list[Expr] = []
         exprs.extend(self.filters.get(table, []))
@@ -126,6 +142,13 @@ class Binder:
 
     def bind_sql(self, sql: str) -> BoundQuery:
         return self.bind(parse(sql), sql=sql)
+
+    def bind_parameterized(
+        self, template_key: tuple, constants: tuple, sql: str = ""
+    ) -> BoundQuery:
+        """Bind a ``(template_key, constants)`` pair via the template-AST
+        cache — recurring templates skip lexing and parsing entirely."""
+        return self.bind(parse_parameterized(template_key, constants), sql=sql)
 
     # ------------------------------------------------------------------ #
     # Statement binding

@@ -87,7 +87,43 @@ def test_warehouse_full_path_with_data(tpch_db):
     assert outcome.batch is not None
     assert outcome.batch.num_rows == 1
     assert outcome.sla_met is True
+    assert outcome.constraint_met is True
     assert outcome.record.dollars == outcome.dollars
+
+
+def test_dag_memo_respects_catalog_version():
+    """Re-optimizing the same bound query after a catalog mutation must
+    re-plan from live statistics, not the DAG memo."""
+    from repro.cost.estimator import CostEstimator
+    from repro.sql.binder import Binder
+    from repro.workloads.tpch_stats import synthetic_tpch_catalog
+
+    catalog = synthetic_tpch_catalog(1.0)
+    optimizer = BiObjectiveOptimizer(catalog, CostEstimator())
+    bound = Binder(catalog).bind_sql(instantiate("q18_large_orders", seed=1))
+    constraint = sla_constraint(12.0)
+    optimizer.optimize(bound, constraint)
+    optimizer.optimize(bound, constraint)
+    assert optimizer.dag_plans == 1
+    assert optimizer.dag_memo_hits == 1
+    catalog.set_clustering("orders", "o_orderdate", 0.2)
+    optimizer.optimize(bound, constraint)
+    assert optimizer.dag_plans == 2  # stale entry discarded
+
+
+def test_constraint_met_covers_budget(tpch_db):
+    """sla_met is None for budget-constrained queries; constraint_met
+    reports the budget check instead."""
+    wh = CostIntelligentWarehouse(database=tpch_db)
+    sql = "SELECT count(*) AS c FROM orders WHERE o_totalprice > 100000"
+    generous = wh.submit(sql, budget_constraint(1.0))
+    assert generous.sla_met is None
+    assert generous.constraint_met is (generous.dollars <= 1.0)
+    assert generous.constraint_met is True
+    assert "constraint met: True" in generous.describe()
+    impossible = wh.submit(sql, budget_constraint(1e-9))
+    assert impossible.sla_met is None
+    assert impossible.constraint_met is False
 
 
 def test_warehouse_all_policies_run(tpch_db):

@@ -1,8 +1,13 @@
-"""Tests for the warehouse plan cache and batched submission."""
+"""Tests for the warehouse plan caches and batched submission."""
 
 import pytest
 
-from repro.core.plan_cache import PlanCache, normalize_sql
+from repro.core.plan_cache import (
+    BindingCache,
+    PlanCache,
+    SkeletonCache,
+    normalize_sql,
+)
 from repro.core.warehouse import CostIntelligentWarehouse
 from repro.dop.constraints import budget_constraint, sla_constraint
 from repro.errors import ReproError
@@ -92,6 +97,82 @@ def test_plan_cache_disabled_by_size_zero(tpch_db):
     warehouse.submit(Q1, constraint)
     warehouse.submit(Q1, constraint)  # no cache, no crash
     warehouse.invalidate_plan_cache()  # no-op
+
+
+# ------------------------- two-level serving -------------------------- #
+def test_literal_variants_hit_the_skeleton_level(warehouse):
+    """Same template, different constants: exact level misses, skeleton
+    level serves the join shapes (no join-order DP re-run)."""
+    constraint = sla_constraint(12.0)
+    warehouse.submit(instantiate("q1_pricing_summary", seed=1), constraint)
+    dag_plans_after_first = warehouse.optimizer.dag_plans
+    join_order_s = warehouse.optimizer.stage_times["join_order"]
+    warehouse.submit(instantiate("q1_pricing_summary", seed=2), constraint)
+    assert warehouse.plan_cache.hits == 0  # different literals
+    assert warehouse.skeleton_cache.hits == 1
+    # DAG planning ran for the new literals, but skipped the join DP.
+    assert warehouse.optimizer.dag_plans == dag_plans_after_first + 1
+    assert warehouse.optimizer.stage_times["join_order"] == join_order_s
+
+
+def test_skeleton_key_separates_constraint_kinds(warehouse):
+    sql = instantiate("q1_pricing_summary", seed=1)
+    warehouse.submit(sql, sla_constraint(12.0))
+    warehouse.submit(sql, budget_constraint(0.05))
+    # Same kind, different bound: the skeleton is shared.
+    warehouse.submit(instantiate("q1_pricing_summary", seed=2), sla_constraint(5.0))
+    assert warehouse.skeleton_cache.misses == 2  # one per kind
+    assert warehouse.skeleton_cache.hits == 1
+
+
+def test_binding_shared_across_constraints(warehouse):
+    sql = instantiate("q1_pricing_summary", seed=1)
+    first = warehouse.submit(sql, sla_constraint(12.0))
+    second = warehouse.submit(sql, budget_constraint(0.05))
+    assert warehouse.binding_cache.hits == 1
+    assert second.record.sql == first.record.sql
+
+
+def test_parameterized_serving_disabled_restores_pr1_path(tpch_db):
+    warehouse = CostIntelligentWarehouse(tpch_db, parameterized_serving=False)
+    assert warehouse.skeleton_cache is None
+    assert warehouse.binding_cache is None
+    constraint = sla_constraint(12.0)
+    warehouse.submit(Q1, constraint)
+    warehouse.submit(Q1, constraint)
+    assert warehouse.plan_cache.hits == 1  # exact level still works
+
+
+def test_describe_caches_reports_all_levels(warehouse):
+    constraint = sla_constraint(12.0)
+    warehouse.submit(instantiate("q1_pricing_summary", seed=1), constraint)
+    warehouse.submit(instantiate("q1_pricing_summary", seed=2), constraint)
+    report = warehouse.describe_caches()
+    assert report["plan_cache"]["misses"] == 2
+    assert report["skeleton_cache"]["hits"] == 1
+    assert report["skeleton_cache"]["hit_rate"] == 0.5
+    assert report["timing_cache"]["timing_computations"] > 0
+    assert 0.0 <= report["timing_cache"]["timing_hit_rate"] <= 1.0
+    warehouse.reset_cache_stats()
+    report = warehouse.describe_caches()
+    assert report["plan_cache"]["hits"] == 0
+    assert report["skeleton_cache"]["misses"] == 0
+    # Entries survive a stats reset.
+    assert report["plan_cache"]["entries"] == 2
+
+
+def test_skeleton_and_binding_caches_are_lru():
+    skeletons = SkeletonCache(capacity=1)
+    skeletons.store("a", ("tree-a",))
+    skeletons.store("b", ("tree-b",))
+    assert skeletons.lookup("a") is None
+    assert skeletons.lookup("b") == ("tree-b",)
+    assert skeletons.evictions == 1
+    bindings = BindingCache(capacity=1)
+    bindings.store("a", "bound-a")
+    bindings.store("b", "bound-b")
+    assert bindings.lookup("a") is None
+    assert bindings.lookup("b") == "bound-b"
 
 
 # --------------------------- invalidation ----------------------------- #

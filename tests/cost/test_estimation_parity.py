@@ -77,6 +77,115 @@ def test_dop_planner_parity_with_overrides(
         assert_estimates_identical(fast.estimate, naive.estimate)
 
 
+@pytest.mark.parametrize("template", template_names())
+@pytest.mark.parametrize("constraint", CONSTRAINTS, ids=["sla", "budget"])
+def test_skeleton_reuse_parity_literal_varying(
+    big_catalog, big_binder, template, constraint
+):
+    """Plan-skeleton reuse across literal-varying instantiations must be
+    bit-identical to fresh optimization of the same SQL: the skeleton
+    skips join-order DP and bushy generation, but re-runs physical
+    planning with fresh cardinalities plus the DOP search."""
+    donor = BiObjectiveOptimizer(big_catalog, CostEstimator())
+    seed_bound = big_binder.bind_sql(instantiate(template, seed=1))
+    donor.optimize(seed_bound, constraint)
+    skeleton = donor.variant_trees(seed_bound)
+
+    for seed in (2, 3):
+        sql = instantiate(template, seed=seed)
+        fresh = BiObjectiveOptimizer(big_catalog, CostEstimator()).optimize(
+            big_binder.bind_sql(sql), constraint
+        )
+        reused = BiObjectiveOptimizer(big_catalog, CostEstimator()).optimize(
+            big_binder.bind_sql(sql), constraint, skeleton_trees=skeleton
+        )
+        assert reused.dop_plan.dops == fresh.dop_plan.dops
+        assert reused.variant_index == fresh.variant_index
+        assert reused.join_tree.describe() == fresh.join_tree.describe()
+        assert reused.feasible == fresh.feasible
+        assert_estimates_identical(reused.dop_plan.estimate, fresh.dop_plan.estimate)
+
+
+@pytest.mark.parametrize("template", template_names())
+@pytest.mark.parametrize("constraint", CONSTRAINTS, ids=["sla", "budget"])
+def test_batched_greedy_rounds_parity(big_binder, big_planner, template, constraint):
+    """Batched round costing (one lean sweep per greedy round) must pick
+    exactly the DOP plans per-candidate costing picks."""
+    plan = big_planner.plan(big_binder.bind_sql(instantiate(template, seed=1)))
+    dag = decompose_pipelines(plan)
+    per_candidate = DopPlanner(CostEstimator(), batched=False).plan(dag, constraint)
+    batched = DopPlanner(CostEstimator(), batched=True).plan(dag, constraint)
+    assert batched.dops == per_candidate.dops
+    assert batched.feasible == per_candidate.feasible
+    assert_estimates_identical(batched.estimate, per_candidate.estimate)
+
+
+def test_warehouse_parameterized_serving_parity(big_catalog):
+    """The full serving path (two-level cache, skeleton reuse, DAG memo,
+    batched rounds) returns plans bit-identical to PR 1's exact-match
+    serving path for every literal-varying arrival."""
+    from repro.core.warehouse import CostIntelligentWarehouse
+
+    reference = CostIntelligentWarehouse(
+        catalog=big_catalog, parameterized_serving=False
+    )
+    reference.optimizer._dag_memo = None
+    reference.optimizer.dop_planner.batched = False
+    parameterized = CostIntelligentWarehouse(catalog=big_catalog)
+
+    for template in template_names():
+        for seed in (1, 2, 3):
+            sql = instantiate(template, seed=seed)
+            for constraint in CONSTRAINTS:
+                _, expected = reference.plan(sql, constraint)
+                _, actual = parameterized.plan(sql, constraint)
+                assert actual.dop_plan.dops == expected.dop_plan.dops
+                assert actual.variant_index == expected.variant_index
+                assert_estimates_identical(
+                    actual.dop_plan.estimate, expected.dop_plan.estimate
+                )
+    caches = parameterized.describe_caches()
+    # Seeds 2 and 3 of each (template, constraint) pair ride the skeleton.
+    assert caches["skeleton_cache"]["hits"] >= len(template_names()) * 2 * 2
+
+
+def test_lean_sweep_matches_full_estimates(big_binder, big_planner):
+    """The incremental coster's lean sweep must price candidate moves
+    bit-identically to a full estimate of each mutated assignment."""
+    from repro.dop.planner import _IncrementalCoster
+
+    plan = big_planner.plan(
+        big_binder.bind_sql(instantiate("q5_local_supplier", seed=1))
+    )
+    dag = decompose_pipelines(plan)
+    coster = _IncrementalCoster(CostEstimator(), dag, None)
+    dops = {p.pipeline_id: 2 for p in dag}
+    base = coster.estimate(dops)
+    base_metrics = (base.latency, base.total_dollars)
+    candidates = [(p.pipeline_id, 4) for p in dag] + [(dag.root_id, 1)]
+    for (pid, new_dop), (latency, total_dollars) in zip(
+        candidates, coster.sweep(dops, candidates)
+    ):
+        mutated = dict(dops)
+        mutated[pid] = new_dop
+        full = coster.estimate(mutated)
+        assert latency == full.latency
+        assert total_dollars == full.total_dollars
+    # With pruning, every candidate is either priced bit-identically or
+    # reported at the base metrics — and then it must truly be gainless.
+    for (pid, new_dop), (latency, total_dollars) in zip(
+        candidates, coster.sweep(dops, candidates, prune_gainless=True)
+    ):
+        mutated = dict(dops)
+        mutated[pid] = new_dop
+        full = coster.estimate(mutated)
+        exact = latency == full.latency and total_dollars == full.total_dollars
+        pruned = (latency, total_dollars) == base_metrics and (
+            full.latency >= base.latency
+        )
+        assert exact or pruned
+
+
 def test_incremental_search_times_fewer_pipelines(big_catalog, big_binder):
     """The hot-path contract over the template pool: >=5x fewer
     timing-model evaluations than the naive search (the acceptance

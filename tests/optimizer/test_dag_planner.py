@@ -79,6 +79,70 @@ def test_single_phase_agg_when_partitioned_on_group_key(big_binder, big_planner)
     assert [a.mode for a in aggs] == [AggMode.SINGLE]
 
 
+def test_single_phase_agg_applies_having(big_binder, big_planner):
+    """Regression: the pre-partitioned (single-phase) aggregation branch
+    returned before applying HAVING, silently dropping the predicate."""
+    from repro.plan.physical import PhysFilter
+
+    sql = (
+        "SELECT l_orderkey, count(*) AS c FROM orders, lineitem "
+        "WHERE o_orderkey = l_orderkey GROUP BY l_orderkey "
+        "HAVING count(*) > 3"
+    )
+    plan = big_planner.plan(big_binder.bind_sql(sql))
+    aggs = nodes_of(plan, PhysAggregate)
+    assert [a.mode for a in aggs] == [AggMode.SINGLE]
+    filters = nodes_of(plan, PhysFilter)
+    having = [
+        f for f in filters if "agg0" in {c for c in _filter_columns(f.predicate)}
+    ]
+    assert having, "HAVING predicate missing from the single-phase plan"
+    # The HAVING filter sits above the aggregate.
+    assert nodes_of(having[0], PhysAggregate)
+
+
+def _filter_columns(predicate):
+    from repro.plan.expressions import referenced_columns
+
+    return referenced_columns(predicate)
+
+
+def test_join_memo_distinguishes_subtree_shapes():
+    """Regression: bushy variants shape the same table subset differently
+    ((C⋈O)⋈L vs C⋈(O⋈L)); the per-query join memo must not hand one
+    shape the other's cardinality estimate.  Every variant planned by a
+    memo-warm planner must be node-for-node identical to the same tree
+    planned by a fresh planner."""
+    from repro.optimizer.bushy import bushy_variants
+    from repro.workloads.tpch_stats import synthetic_tpch_catalog
+    from repro.sql.binder import Binder
+
+    catalog = synthetic_tpch_catalog(1.0)
+    bound = Binder(catalog).bind_sql(
+        "SELECT count(*) AS c FROM region, nation, customer, orders, lineitem "
+        "WHERE r_regionkey = n_regionkey AND n_nationkey = c_nationkey "
+        "AND c_custkey = o_custkey AND o_orderkey = l_orderkey "
+        "AND c_acctbal < 100"
+    )
+    shared = DagPlanner(catalog)
+    tree = shared.choose_join_tree(bound)
+    base = {r.name: shared.base_relation(bound, r.name) for r in bound.tables}
+    variants = bushy_variants(tree, base, bound.join_edges, shared.estimator)
+    assert len(variants) > 2  # the collision needs multiple shapes
+    for variant in variants:
+        warm = shared._plan_join_tree(bound, variant)
+        cold = DagPlanner(catalog)._plan_join_tree(bound, variant)
+        assert warm.rel.rows == cold.rel.rows
+        assert warm.rel.bytes == cold.rel.bytes
+        assert warm.rel.ndv == cold.rel.ndv
+        warm_plan = shared.plan_with_tree(bound, variant)
+        cold_plan = DagPlanner(catalog).plan_with_tree(bound, variant)
+        for a, b in zip(walk_physical(warm_plan), walk_physical(cold_plan)):
+            assert type(a) is type(b)
+            assert a.est_rows == b.est_rows
+            assert a.est_bytes == b.est_bytes
+
+
 def test_global_agg_gathers_partials(tpch_binder, tpch_planner):
     plan = tpch_planner.plan(
         tpch_binder.bind_sql("SELECT count(*) AS c FROM lineitem")
