@@ -16,12 +16,12 @@ plan caching gets 0% hits):
 
 - **cached** again, as the PR 1 reference: fresh bind + fresh optimize
   per arrival;
-- **parameterized**: the serving path through
-  ``CostIntelligentWarehouse.plan`` — literal extraction, exact-level
-  then skeleton-level plan cache, DAG-planning memo, and batched greedy
-  DOP rounds.  Skeleton hits skip join-order DP and bushy generation
-  and re-run only binding, cardinality re-estimation, and the
-  incremental DOP search.
+- **parameterized**: the serving path through ``Session.plan`` (the
+  public serving API over ``CostIntelligentWarehouse``) — literal
+  extraction, exact-level then skeleton-level plan cache, DAG-planning
+  memo, and batched greedy DOP rounds.  Skeleton hits skip join-order
+  DP and bushy generation and re-run only binding, cardinality
+  re-estimation, and the incremental DOP search.
 
 Reports wall times, throughput, timing-model evaluations, a per-stage
 time breakdown (join ordering / bushy generation / physical planning /
@@ -181,29 +181,34 @@ def run_literal_varying(catalog, chunks, constraints) -> tuple[dict, dict]:
     """
     reference = pr1_warehouse(catalog)
     parameterized = CostIntelligentWarehouse(catalog=catalog, plan_cache_size=1024)
-    for warehouse in (reference, parameterized):
+    sessions = {
+        "cached": reference.session(tenant="bench"),
+        "parameterized": parameterized.session(tenant="bench"),
+    }
+    for mode, warehouse in (("cached", reference), ("parameterized", parameterized)):
         # Warmup: one out-of-band instantiation per template populates
         # the skeleton cache (where present) and warms the interpreter.
+        session = sessions[mode]
         for name in template_names():
             warm = instantiate(name, seed=999)
             for constraint in constraints:
-                warehouse.plan(warm, constraint)
+                session.plan(warm, constraint)
         warehouse.estimator.models.timing_computations = 0
         warehouse.reset_cache_stats()
     stage_times = parameterized.optimizer.stage_times
 
     chunk_walls: dict[str, list[float]] = {"cached": [], "parameterized": []}
     choices: dict[str, list] = {"cached": [], "parameterized": []}
-    pairing = [("cached", reference), ("parameterized", parameterized)]
+    pairing = [("cached", sessions["cached"]), ("parameterized", sessions["parameterized"])]
     for index, chunk in enumerate(chunks):
         # Alternate which mode goes first so ordering bias (caches,
         # frequency scaling) cancels across chunks.
         ordering = pairing if index % 2 == 0 else pairing[::-1]
-        for mode, warehouse in ordering:
+        for mode, session in ordering:
             start = time.perf_counter()
             for sql in chunk:
                 for constraint in constraints:
-                    choices[mode].append(warehouse.plan(sql, constraint)[1])
+                    choices[mode].append(session.plan(sql, constraint)[1])
             chunk_walls[mode].append(time.perf_counter() - start)
 
     optimizes = sum(len(chunk) for chunk in chunks) * len(constraints)

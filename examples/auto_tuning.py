@@ -12,7 +12,7 @@ Run:  python examples/auto_tuning.py
 
 import numpy as np
 
-from repro import CostIntelligentWarehouse, load_tpch, sla_constraint
+from repro import CostIntelligentWarehouse, QueryRequest, load_tpch, sla_constraint
 from repro.workloads import instantiate
 
 
@@ -20,19 +20,27 @@ def main() -> None:
     print("Loading TPC-H-like data (scale factor 0.01)...")
     database = load_tpch(scale_factor=0.01)
     warehouse = CostIntelligentWarehouse(database=database)
+    session = warehouse.session(tenant="reporting", constraint=sla_constraint(20.0))
 
     print("Running a recurring reporting workload (24 queries)...")
+    requests = []
     t = 0.0
     for i in range(8):
         for template in ("q5_local_supplier", "q12_shipmode", "q14_promo_effect"):
-            warehouse.submit(
-                instantiate(template, seed=i),
-                sla_constraint(20.0),
-                template=template,
-                at_time=t,
-                simulate=(i < 2),  # simulate a few; estimates for the rest
+            requests.append(
+                QueryRequest(
+                    sql=instantiate(template, seed=i),
+                    template=template,
+                    at_time=t,
+                    simulate=(i < 2),  # simulate a few; estimates for the rest
+                )
             )
             t += 450.0
+    session.submit_many(requests)
+    print(
+        f"tenant '{session.tenant}' spent ${session.dollars_spent:.4f} across "
+        f"{len(session.logs)} logged queries"
+    )
 
     caches = warehouse.describe_caches()
     skeleton = caches["skeleton_cache"]

@@ -6,16 +6,16 @@ static plan blows through its SLA; the pipeline-granular DOP monitor
 observes the deviation at run time, resizes the affected pipelines, and
 lands the query near the SLA.
 
+Both runs go through one warehouse Session: the same frozen QueryRequest
+resubmitted with a different scaling ``policy`` (and the hidden truth
+injected via ``truth=``), so the comparison is exactly the serving path.
+
 Run:  python examples/dynamic_resizing.py
 """
 
-from repro import CostEstimator, synthetic_tpch_catalog
-from repro.dop import DopPlanner, sla_constraint
-from repro.monitor.policies import PipelineDopMonitor, StaticPolicy
-from repro.optimizer.dag_planner import DagPlanner
-from repro.plan.pipelines import decompose_pipelines
-from repro.sim.distsim import DistributedSimulator, SimConfig
-from repro.sql.binder import Binder
+from repro import CostIntelligentWarehouse, QueryRequest, synthetic_tpch_catalog
+from repro.dop import sla_constraint
+from repro.sim.distsim import SimConfig
 from repro.util.tables import TextTable
 
 SQL = (
@@ -27,49 +27,44 @@ SLA = 36.0
 
 def main() -> None:
     catalog = synthetic_tpch_catalog(100.0)
-    estimator = CostEstimator()
-    binder = Binder(catalog)
-    plan = DagPlanner(catalog).plan(binder.bind_sql(SQL))
-    dag = decompose_pipelines(plan)
-    dop_plan = DopPlanner(estimator, max_dop=64).plan(dag, sla_constraint(SLA))
+    warehouse = CostIntelligentWarehouse(
+        catalog=catalog, sim_config=SimConfig(seed=17)
+    )
+    session = warehouse.session(
+        tenant="resizing-demo", constraint=sla_constraint(SLA)
+    )
+
+    # Plan once through the serving path to see what the optimizer
+    # believes; the plan cache serves the same choice to both runs.
+    _, choice = session.plan(SQL)
+    dop_plan = choice.dop_plan
     print(f"Static plan (believes estimates): {dop_plan.describe()}\n")
 
     # The optimizer's cardinality estimates are 6x too low.
     truth = {
-        p.ops[0].node.node_id: float(p.ops[0].node.est_rows) * 6.0 for p in dag
+        p.ops[0].node.node_id: float(p.ops[0].node.est_rows) * 6.0
+        for p in choice.dag
     }
+
+    request = QueryRequest(sql=SQL, truth=truth, template="resizing")
     table = TextTable(
         ["policy", "latency (s)", f"SLA {SLA}s", "cost ($)", "resizes"],
         title="True cardinalities are 6x the estimates",
     )
     for label, policy in (
-        ("static plan", StaticPolicy()),
-        (
-            "DOP monitor (§3.3)",
-            PipelineDopMonitor(
-                dag, estimator, sla_constraint(SLA), dop_plan.dops,
-                planned_latency=dop_plan.estimate.latency,
-                planned_durations={
-                    pid: p.duration
-                    for pid, p in dop_plan.estimate.pipelines.items()
-                },
-                max_dop=64,
-            ),
-        ),
+        ("static plan", "static"),
+        ("DOP monitor (§3.3)", "dop-monitor"),
     ):
-        sim = DistributedSimulator(
-            dag, dop_plan.dops, estimator.models,
-            truth=truth, planned=dop_plan.estimate,
-            policy=policy, config=SimConfig(seed=17),
-        )
-        result = sim.run()
+        outcome = session.submit(request.replace(policy=policy)).result()
+        sim = outcome.sim
+        assert sim is not None
         table.add_row(
             [
                 label,
-                f"{result.latency:.1f}",
-                "met" if result.latency <= SLA else "MISSED",
-                f"{result.total_dollars:.4f}",
-                result.resize_count,
+                f"{sim.latency:.1f}",
+                "met" if sim.latency <= SLA else "MISSED",
+                f"{sim.total_dollars:.4f}",
+                sim.resize_count,
             ]
         )
     print(table)

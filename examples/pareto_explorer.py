@@ -2,12 +2,21 @@
 
 For one workload, evaluates every T-shirt warehouse size, marks which
 are Pareto-dominated, and shows where the bi-objective optimizer lands
-for a few SLAs — an ASCII rendition of the paper's Figure 2.
+for a few SLAs — an ASCII rendition of the paper's Figure 2.  The
+T-shirt ladder is costed directly with the estimator (there is no
+serving involved in a fixed-size menu); the SLA points are QueryRequests
+submitted through a Session, i.e. the real serving path.
 
 Run:  python examples/pareto_explorer.py
 """
 
-from repro import BiObjectiveOptimizer, Binder, CostEstimator, synthetic_tpch_catalog
+from repro import (
+    Binder,
+    CostEstimator,
+    CostIntelligentWarehouse,
+    QueryRequest,
+    synthetic_tpch_catalog,
+)
 from repro.baselines.tshirt import uniform_dops
 from repro.compute.pricing import TSHIRT_SIZES
 from repro.dop import sla_constraint
@@ -22,8 +31,8 @@ def main() -> None:
     estimator = CostEstimator()
     binder = Binder(catalog)
     planner = DagPlanner(catalog)
-    bound = binder.bind_sql(instantiate("q5_local_supplier", seed=1))
-    dag = decompose_pipelines(planner.plan(bound))
+    sql = instantiate("q5_local_supplier", seed=1)
+    dag = decompose_pipelines(planner.plan(binder.bind_sql(sql)))
 
     points = []
     for name, nodes in TSHIRT_SIZES.items():
@@ -42,10 +51,13 @@ def main() -> None:
         )
 
     print("\nBi-objective optimizer (per-pipeline DOPs) under SLAs:\n")
-    optimizer = BiObjectiveOptimizer(catalog, estimator, max_dop=128)
+    warehouse = CostIntelligentWarehouse(catalog=catalog, max_dop=128)
+    session = warehouse.session(tenant="explorer")
     for sla in (30.0, 12.0, 6.0):
-        choice = optimizer.optimize(bound, sla_constraint(sla))
-        estimate = choice.dop_plan.estimate
+        handle = session.submit(
+            QueryRequest(sql=sql, constraint=sla_constraint(sla), simulate=False)
+        )
+        estimate = handle.result().choice.dop_plan.estimate
         bar = "#" * max(1, int(40 * estimate.total_dollars / max_cost))
         print(
             f"  SLA {sla:5.1f}s -> latency {estimate.latency:7.2f}s  "

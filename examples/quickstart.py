@@ -1,20 +1,25 @@
-"""Quickstart: load data, state an SLA, get results plus a cost report.
+"""Quickstart: open a session, state an SLA, get results plus a cost report.
 
 The user never picks a cluster size (no Figure-1 "T-shirt" menu): they
-state a latency SLA and the warehouse plans DOPs per pipeline, executes
-the query (locally for real results, simulated for the cluster
-economics), and reports latency and dollars.
+open a per-tenant Session, state a latency SLA once as the session
+default, and submit frozen QueryRequests.  Each submission returns a
+QueryHandle whose lifecycle runs QUEUED -> BOUND -> PLANNED -> SIMULATED
+-> DONE with per-stage timings; result() yields the QueryOutcome with
+the plan, the real rows (executed locally here), and auditable dollars —
+which also roll up into the warehouse's per-tenant billing.
 
 Run:  python examples/quickstart.py
 """
 
-from repro import CostIntelligentWarehouse, load_tpch, sla_constraint
+from repro import CostIntelligentWarehouse, QueryRequest, load_tpch, sla_constraint
 from repro.dop import budget_constraint
+
 
 def main() -> None:
     print("Loading TPC-H-like data (scale factor 0.01)...")
     database = load_tpch(scale_factor=0.01, cluster_keys={"lineitem": "l_shipdate"})
     warehouse = CostIntelligentWarehouse(database=database)
+    session = warehouse.session(tenant="analyst", constraint=sla_constraint(10.0))
 
     sql = (
         "SELECT l_returnflag, l_linestatus, "
@@ -25,8 +30,10 @@ def main() -> None:
         "GROUP BY l_returnflag, l_linestatus "
         "ORDER BY l_returnflag, l_linestatus"
     )
-    print(f"\nSubmitting with a 10-second latency SLA:\n  {sql}\n")
-    outcome = warehouse.submit(sql, sla_constraint(10.0), execute_locally=True)
+    print(f"\nSubmitting under the session's 10-second latency SLA:\n  {sql}\n")
+    handle = session.submit(QueryRequest(sql=sql, execute_locally=True))
+    print(f"lifecycle: {handle.describe()}\n")
+    outcome = handle.result()
 
     print("=== query result ===")
     batch = outcome.batch
@@ -48,11 +55,16 @@ def main() -> None:
 
     budget = 0.001
     print(f"\nResubmitting under a ${budget} budget instead:")
-    budgeted = warehouse.submit(sql, budget_constraint(budget))
+    budgeted = session.submit(
+        QueryRequest(sql=sql, constraint=budget_constraint(budget))
+    ).result()
     print(
         f"  latency={budgeted.latency:.2f}s cost=${budgeted.dollars:.5f}"
         f"  budget honored: {budgeted.constraint_met}"
     )
+
+    print(f"\ntenant '{session.tenant}' spent ${session.dollars_spent:.5f}")
+    print(warehouse.describe_billing())
 
 
 if __name__ == "__main__":

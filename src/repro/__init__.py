@@ -9,24 +9,41 @@ exploration (§3.2), a DOP monitor with pipeline-granular dynamic
 resizing over a discrete-event cluster simulator (§3.3), and the
 Statistics/What-If services for cost-oriented auto-tuning (§4).
 
+Serving goes through per-tenant sessions: build a frozen
+:class:`QueryRequest`, submit it, and get a :class:`QueryHandle` whose
+lifecycle runs ``QUEUED -> BOUND -> PLANNED -> SIMULATED -> DONE`` with
+per-stage timings; ``result()`` yields the :class:`QueryOutcome` (plan,
+latency, auditable dollars).  Batches plan concurrently via the
+:class:`ServingScheduler`, bit-identical to sequential submission.
+
 Quickstart::
 
     from repro import (
-        CostIntelligentWarehouse, load_tpch, sla_constraint,
+        CostIntelligentWarehouse, QueryRequest, load_tpch, sla_constraint,
     )
 
     db = load_tpch(scale_factor=0.01)
     warehouse = CostIntelligentWarehouse(database=db)
-    outcome = warehouse.submit(
-        "SELECT count(*) AS big FROM orders WHERE o_totalprice > 300000",
-        sla_constraint(10.0),
+    session = warehouse.session(tenant="analyst", constraint=sla_constraint(10.0))
+    handle = session.submit(QueryRequest(
+        sql="SELECT count(*) AS big FROM orders WHERE o_totalprice > 300000",
         execute_locally=True,
-    )
-    print(outcome.describe())
+    ))
+    print(handle.result().describe())
+    print(f"{session.tenant} spent ${session.dollars_spent:.4f}")
 """
 
 from repro.catalog import Catalog
-from repro.core import BiObjectiveOptimizer, CostIntelligentWarehouse, QueryOutcome
+from repro.core import (
+    BiObjectiveOptimizer,
+    CostIntelligentWarehouse,
+    QueryHandle,
+    QueryOutcome,
+    QueryRequest,
+    QueryState,
+    ServingScheduler,
+    Session,
+)
 from repro.cost import CostEstimator, HardwareCalibration
 from repro.dop import DopPlanner, budget_constraint, sla_constraint
 from repro.engine import Database, LocalExecutor
@@ -35,13 +52,18 @@ from repro.sql import Binder
 from repro.workloads import load_tpch
 from repro.workloads.tpch_stats import synthetic_tpch_catalog
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "Catalog",
     "BiObjectiveOptimizer",
     "CostIntelligentWarehouse",
+    "QueryHandle",
     "QueryOutcome",
+    "QueryRequest",
+    "QueryState",
+    "ServingScheduler",
+    "Session",
     "CostEstimator",
     "HardwareCalibration",
     "DopPlanner",

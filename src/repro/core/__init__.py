@@ -7,14 +7,36 @@ planning), and :class:`CostIntelligentWarehouse` is the user-facing
 service that optimizes, provisions, executes (simulated and/or local),
 meters cost, logs to the Statistics Service, and hosts background
 auto-tuning.
+
+The serving surface is the request/lifecycle API in
+:mod:`repro.core.service`: a frozen :class:`QueryRequest` goes in, a
+:class:`QueryHandle` tracks ``QUEUED -> BOUND -> PLANNED -> SIMULATED ->
+DONE/FAILED``, per-tenant :class:`Session`\\ s carry defaults and
+isolated log/billing views, and the :class:`ServingScheduler` plans
+batches concurrently over the lock-striped plan caches.
 """
 
 from repro.core.bioptimizer import BiObjectiveOptimizer, PlanChoice
-from repro.core.warehouse import CostIntelligentWarehouse, QueryOutcome
+from repro.core.service import (
+    QueryHandle,
+    QueryOutcome,
+    QueryRequest,
+    QueryState,
+    ServingScheduler,
+    Session,
+    TenantBill,
+)
+from repro.core.warehouse import CostIntelligentWarehouse
 
 __all__ = [
     "BiObjectiveOptimizer",
     "PlanChoice",
     "CostIntelligentWarehouse",
+    "QueryHandle",
     "QueryOutcome",
+    "QueryRequest",
+    "QueryState",
+    "ServingScheduler",
+    "Session",
+    "TenantBill",
 ]

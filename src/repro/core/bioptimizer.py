@@ -121,6 +121,14 @@ class BiObjectiveOptimizer:
             "dop": 0.0,
         }
 
+    def reset_counters(self) -> None:
+        """Zero the memo-hit/plan counters and stage timings (benchmark
+        warmup) without dropping memoized state."""
+        self.dag_memo_hits = 0
+        self.dag_plans = 0
+        for stage in self.stage_times:
+            self.stage_times[stage] = 0.0
+
     # ------------------------------------------------------------------ #
     # DAG planning (constraint-independent)
     # ------------------------------------------------------------------ #

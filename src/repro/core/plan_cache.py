@@ -29,10 +29,24 @@ bumps the version, so stale entries can never be served — they simply
 stop matching and age out of the LRU.  ``invalidate()`` exists for
 explicit flushes (e.g. hardware recalibration, which changes cost
 without touching the catalog).
+
+Thread safety
+-------------
+
+The :class:`~repro.core.service.ServingScheduler` plans concurrently, so
+every cache is a *lock-striped* LRU: keys hash onto one of N stripes,
+each a lock-guarded OrderedDict with ``capacity / N`` slots.  Planning
+threads touching different templates never contend on the same lock, and
+the per-stripe LRU is exact within its stripe (global recency is
+approximate under striping, which only matters under eviction pressure).
+Small capacities collapse to a single stripe, so the sequential eviction
+semantics the unit tests pin down are unchanged below
+``_MIN_STRIPE_CAPACITY`` entries per stripe.
 """
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 from typing import TYPE_CHECKING, Hashable
 
@@ -43,48 +57,102 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.optimizer.join_order import JoinTree, Leaf
     from repro.sql.binder import BoundQuery
 
+#: Upper bound on stripes per cache; more stripes than planning threads
+#: buys nothing.
+_MAX_STRIPES = 8
+#: Don't split a cache into stripes smaller than this — tiny stripes
+#: evict under no memory pressure and tiny caches are only used by unit
+#: tests that pin down exact sequential LRU behavior.
+_MIN_STRIPE_CAPACITY = 64
 
-class _LruStats:
-    """Shared LRU bookkeeping: bounded OrderedDict + hit/miss counters."""
 
-    def __init__(self, capacity: int, name: str) -> None:
-        if capacity < 1:
-            raise ValueError(f"{name} capacity must be >= 1, got {capacity}")
+class _Stripe:
+    """One lock-guarded LRU shard."""
+
+    __slots__ = ("lock", "capacity", "entries", "hits", "misses", "evictions")
+
+    def __init__(self, capacity: int) -> None:
+        self.lock = threading.Lock()
         self.capacity = capacity
-        self.name = name
-        self._entries: OrderedDict[Hashable, object] = OrderedDict()
+        self.entries: OrderedDict[Hashable, object] = OrderedDict()
         self.hits = 0
         self.misses = 0
         self.evictions = 0
 
+
+class _LruStats:
+    """Shared lock-striped LRU bookkeeping with hit/miss counters."""
+
+    def __init__(self, capacity: int, name: str, *, stripes: int | None = None) -> None:
+        if capacity < 1:
+            raise ValueError(f"{name} capacity must be >= 1, got {capacity}")
+        if stripes is None:
+            stripes = max(1, min(_MAX_STRIPES, capacity // _MIN_STRIPE_CAPACITY))
+        if stripes < 1:
+            raise ValueError(f"{name} stripe count must be >= 1, got {stripes}")
+        stripes = min(stripes, capacity)
+        self.capacity = capacity
+        self.name = name
+        base, extra = divmod(capacity, stripes)
+        self._stripes = tuple(
+            _Stripe(base + (1 if index < extra else 0)) for index in range(stripes)
+        )
+
+    @property
+    def stripe_count(self) -> int:
+        return len(self._stripes)
+
+    def _stripe(self, key: Hashable) -> _Stripe:
+        return self._stripes[hash(key) % len(self._stripes)]
+
     def _get(self, key: Hashable):
-        found = self._entries.get(key)
-        if found is None:
-            self.misses += 1
-            return None
-        self._entries.move_to_end(key)
-        self.hits += 1
-        return found
+        stripe = self._stripe(key)
+        with stripe.lock:
+            found = stripe.entries.get(key)
+            if found is None:
+                stripe.misses += 1
+                return None
+            stripe.entries.move_to_end(key)
+            stripe.hits += 1
+            return found
 
     def _put(self, key: Hashable, value: object) -> None:
-        self._entries[key] = value
-        self._entries.move_to_end(key)
-        while len(self._entries) > self.capacity:
-            self._entries.popitem(last=False)
-            self.evictions += 1
+        stripe = self._stripe(key)
+        with stripe.lock:
+            stripe.entries[key] = value
+            stripe.entries.move_to_end(key)
+            while len(stripe.entries) > stripe.capacity:
+                stripe.entries.popitem(last=False)
+                stripe.evictions += 1
 
     def invalidate(self) -> None:
         """Drop every cached entry."""
-        self._entries.clear()
+        for stripe in self._stripes:
+            with stripe.lock:
+                stripe.entries.clear()
 
     def reset_stats(self) -> None:
         """Zero the hit/miss/eviction counters (benchmark warmup)."""
-        self.hits = 0
-        self.misses = 0
-        self.evictions = 0
+        for stripe in self._stripes:
+            with stripe.lock:
+                stripe.hits = 0
+                stripe.misses = 0
+                stripe.evictions = 0
 
     def __len__(self) -> int:
-        return len(self._entries)
+        return sum(len(stripe.entries) for stripe in self._stripes)
+
+    @property
+    def hits(self) -> int:
+        return sum(stripe.hits for stripe in self._stripes)
+
+    @property
+    def misses(self) -> int:
+        return sum(stripe.misses for stripe in self._stripes)
+
+    @property
+    def evictions(self) -> int:
+        return sum(stripe.evictions for stripe in self._stripes)
 
     @property
     def hit_rate(self) -> float:
@@ -93,7 +161,8 @@ class _LruStats:
 
     def describe(self) -> str:
         return (
-            f"{self.name}: {len(self._entries)}/{self.capacity} entries, "
+            f"{self.name}: {len(self)}/{self.capacity} entries "
+            f"({self.stripe_count} stripe(s)), "
             f"{self.hits} hits / {self.misses} misses "
             f"({self.hit_rate:.0%}), {self.evictions} evictions"
         )

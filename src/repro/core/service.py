@@ -1,0 +1,597 @@
+"""Serving-layer request model: QueryRequest -> QueryHandle -> QueryOutcome.
+
+The paper's interaction model (§2) is a *service* contract — "state a
+latency SLA or a budget, get results plus an auditable cost report" —
+and a service needs more than one blocking call with nine keyword
+arguments.  This module is the warehouse's public serving API:
+
+- :class:`QueryRequest` — one frozen value object describing a
+  submission: the SQL, the user constraint, and the execution /
+  simulation options that used to sprawl across ``submit()`` kwargs.
+- :class:`QueryHandle` — the lifecycle of one submission
+  (``QUEUED -> BOUND -> PLANNED -> SIMULATED -> DONE/FAILED``) with
+  per-stage wall timings and ``result()`` returning the
+  :class:`QueryOutcome`.  Failures are carried on the handle as
+  :class:`~repro.errors.QueryFailedError` (which item, which SQL, what
+  cause) instead of aborting a whole batch.
+- :class:`Session` — who is asking.  A session carries per-tenant
+  defaults (constraint, scaling policy, template namespace), sees an
+  isolated per-tenant view of the Statistics Service log, and its
+  spending rolls up into the warehouse's per-tenant billing.
+- :class:`ServingScheduler` — the concurrent planner behind
+  ``submit_many``.  Staging (bind -> optimize -> execute -> simulate) is
+  deterministic and runs on a thread pool over the lock-striped plan
+  caches; finalization (logging, billing, template bookkeeping) runs in
+  submission order, so a threaded batch is bit-identical to sequential
+  submission and the log order is deterministic.
+
+Per-tenant admission and accounting follows the framing of *Saving Money
+for Analytical Workloads in the Cloud* (Srivastava et al.): cost-aware
+serving is a multi-tenant scheduling problem, not a single call.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, replace
+from enum import Enum
+from typing import TYPE_CHECKING, Iterable, Mapping
+
+from repro.dop.constraints import Constraint
+from repro.engine.local_executor import LocalExecutor
+from repro.errors import QueryFailedError, ReproError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.bioptimizer import PlanChoice
+    from repro.core.warehouse import CostIntelligentWarehouse
+    from repro.engine.batch import Batch
+    from repro.sim.distsim import ScalingPolicy, SimResult
+    from repro.sql.binder import BoundQuery
+    from repro.statsvc.logs import QueryRecord, TenantLogView
+
+
+# --------------------------------------------------------------------- #
+# Request
+# --------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class QueryRequest:
+    """One immutable submission: SQL + constraint + serving options.
+
+    Fields left as ``None`` are filled from the submitting
+    :class:`Session`'s defaults during resolution; a request without a
+    constraint can only be served by a session that carries one.
+    """
+
+    sql: str
+    constraint: Constraint | None = None
+    template: str = "adhoc"
+    at_time: float | None = None
+    policy: "str | ScalingPolicy | None" = None
+    execute_locally: bool = False
+    simulate: bool = True
+    truth: Mapping[int, float] | None = None
+    use_plan_cache: bool = True
+    tenant: str | None = None
+
+    def replace(self, **changes) -> "QueryRequest":
+        """A copy with the given fields changed (requests are frozen)."""
+        return replace(self, **changes)
+
+
+class QueryState(Enum):
+    """Lifecycle states of one submission."""
+
+    QUEUED = "queued"
+    BOUND = "bound"
+    PLANNED = "planned"
+    SIMULATED = "simulated"
+    DONE = "done"
+    FAILED = "failed"
+
+
+#: Forward progression of the lifecycle (``FAILED`` can follow any state;
+#: ``SIMULATED`` is skipped when ``simulate=False``).
+STATE_ORDER = (
+    QueryState.QUEUED,
+    QueryState.BOUND,
+    QueryState.PLANNED,
+    QueryState.SIMULATED,
+    QueryState.DONE,
+)
+
+
+# --------------------------------------------------------------------- #
+# Outcome
+# --------------------------------------------------------------------- #
+@dataclass
+class QueryOutcome:
+    """Everything one submission produced."""
+
+    sql: str
+    choice: "PlanChoice"
+    sim: "SimResult | None"
+    batch: "Batch | None"
+    record: "QueryRecord"
+    constraint: Constraint
+
+    @property
+    def tenant(self) -> str:
+        return self.record.tenant
+
+    @property
+    def latency(self) -> float:
+        if self.sim is not None:
+            return self.sim.latency
+        return self.choice.dop_plan.estimate.latency
+
+    @property
+    def dollars(self) -> float:
+        if self.sim is not None:
+            return self.sim.total_dollars
+        return self.choice.dop_plan.estimate.total_dollars
+
+    @property
+    def sla_met(self) -> bool | None:
+        if self.constraint.latency_sla is None:
+            return None
+        return self.latency <= self.constraint.latency_sla
+
+    @property
+    def constraint_met(self) -> bool:
+        """Whether the outcome honored the user's constraint — the
+        latency SLA or the dollar budget, whichever was stated
+        (:attr:`sla_met` is ``None`` for budget-constrained queries;
+        this covers both kinds)."""
+        if self.constraint.is_sla:
+            return self.sla_met  # type: ignore[return-value]
+        assert self.constraint.budget is not None
+        return self.dollars <= self.constraint.budget
+
+    def describe(self) -> str:
+        from repro.util.units import fmt_dollars, fmt_duration
+
+        lines = [
+            f"constraint: {self.constraint.describe()}",
+            f"plan: {self.choice.describe()}",
+            f"outcome: latency={fmt_duration(self.latency)} "
+            f"cost={fmt_dollars(self.dollars)}",
+            f"constraint met: {self.constraint_met}",
+        ]
+        return "\n".join(lines)
+
+
+# --------------------------------------------------------------------- #
+# Handle
+# --------------------------------------------------------------------- #
+@dataclass
+class _Staged:
+    """Output of the concurrent stage phase, awaiting ordered finalize."""
+
+    bound: "BoundQuery"
+    choice: "PlanChoice"
+    batch: "Batch | None"
+    sim: "SimResult | None"
+
+
+class QueryHandle:
+    """The observable lifecycle of one submitted :class:`QueryRequest`.
+
+    A handle moves ``QUEUED -> BOUND -> PLANNED [-> SIMULATED] -> DONE``
+    (or ``FAILED`` from any state), accumulating wall time per stage in
+    :attr:`stage_timings` (keys: ``queued``, ``bind``, ``plan``,
+    ``execute``, ``simulate``, ``finalize``).  :meth:`result` returns
+    the :class:`QueryOutcome` or raises the carried
+    :class:`~repro.errors.QueryFailedError`.
+    """
+
+    def __init__(self, request: QueryRequest, index: int = 0) -> None:
+        self.request = request
+        self.index = index
+        self.state = QueryState.QUEUED
+        self.stage_timings: dict[str, float] = {}
+        self.error: QueryFailedError | None = None
+        #: Warehouse-clock admission timestamp (set at admission, used
+        #: for the log record — identical to sequential submission).
+        self.timestamp: float | None = None
+        self._outcome: QueryOutcome | None = None
+        self._last_mark = time.perf_counter()
+
+    # -- lifecycle bookkeeping (serving internals) --------------------- #
+    def _advance(self, state: QueryState, stage: str) -> None:
+        now = time.perf_counter()
+        self.stage_timings[stage] = (
+            self.stage_timings.get(stage, 0.0) + now - self._last_mark
+        )
+        self._last_mark = now
+        self.state = state
+
+    def _complete(self, outcome: QueryOutcome) -> None:
+        self._outcome = outcome
+        self._advance(QueryState.DONE, "finalize")
+
+    def _fail(self, error: QueryFailedError) -> None:
+        self.error = error
+        self.state = QueryState.FAILED
+
+    # -- public surface ------------------------------------------------ #
+    @property
+    def done(self) -> bool:
+        return self.state in (QueryState.DONE, QueryState.FAILED)
+
+    @property
+    def failed(self) -> bool:
+        return self.state is QueryState.FAILED
+
+    def result(self) -> QueryOutcome:
+        """The outcome; raises the carried error for failed queries."""
+        if self.error is not None:
+            raise self.error
+        if self._outcome is None:
+            raise ReproError(
+                f"query #{self.index} has not finished serving "
+                f"(state: {self.state.value})"
+            )
+        return self._outcome
+
+    def describe(self) -> str:
+        sql = self.request.sql
+        head = f"[{self.state.value}] #{self.index} {sql[:60]}"
+        if not self.stage_timings:
+            return head
+        stages = ", ".join(
+            f"{name}={seconds * 1e3:.2f}ms"
+            for name, seconds in self.stage_timings.items()
+        )
+        return f"{head}\n  stages: {stages}"
+
+
+# --------------------------------------------------------------------- #
+# Per-tenant billing
+# --------------------------------------------------------------------- #
+@dataclass
+class TenantBill:
+    """Running per-tenant spend, rolled up into warehouse billing."""
+
+    tenant: str
+    queries: int = 0
+    dollars: float = 0.0
+    machine_seconds: float = 0.0
+
+    def charge(self, record: "QueryRecord") -> None:
+        self.queries += 1
+        self.dollars += record.dollars
+        self.machine_seconds += record.machine_seconds
+
+
+# --------------------------------------------------------------------- #
+# Session
+# --------------------------------------------------------------------- #
+class Session:
+    """A tenant's connection to the warehouse.
+
+    Carries per-tenant defaults (constraint, scaling policy, template
+    namespace) so requests stay terse, exposes an isolated view of the
+    Statistics Service log, and accounts every served query's dollars
+    against its tenant in the warehouse's billing roll-up.
+    """
+
+    def __init__(
+        self,
+        warehouse: "CostIntelligentWarehouse",
+        *,
+        tenant: str = "default",
+        constraint: Constraint | None = None,
+        policy: "str | ScalingPolicy | None" = None,
+        template_namespace: str | None = None,
+    ) -> None:
+        self.warehouse = warehouse
+        self.tenant = tenant
+        self.default_constraint = constraint
+        self.default_policy = policy
+        self.template_namespace = template_namespace
+
+    # -- request resolution -------------------------------------------- #
+    def resolve(
+        self, request: QueryRequest | str, constraint: Constraint | None = None
+    ) -> QueryRequest:
+        """Fill a request's open fields from this session's defaults."""
+        if isinstance(request, str):
+            request = QueryRequest(sql=request, constraint=constraint)
+        elif constraint is not None and request.constraint is None:
+            request = request.replace(constraint=constraint)
+        resolved_constraint = request.constraint or self.default_constraint
+        if resolved_constraint is None:
+            raise ReproError(
+                "no constraint for query: set one on the QueryRequest "
+                "or give the session a default"
+            )
+        template = request.template
+        prefix = f"{self.template_namespace}." if self.template_namespace else ""
+        if prefix and not template.startswith(prefix):
+            # Idempotent: resubmitting an already-resolved request (e.g.
+            # ``handle.request``) must not double-prefix the template and
+            # split the family in the log / skeleton cache / advisor.
+            template = prefix + template
+        return request.replace(
+            constraint=resolved_constraint,
+            template=template,
+            policy=request.policy
+            if request.policy is not None
+            else (self.default_policy or "dop-monitor"),
+            tenant=request.tenant or self.tenant,
+        )
+
+    # -- submission ----------------------------------------------------- #
+    def submit(
+        self, request: QueryRequest | str, constraint: Constraint | None = None
+    ) -> QueryHandle:
+        """Serve one request through the full lifecycle; never raises —
+        failures (including resolution failures such as a missing
+        constraint) are carried on the returned handle."""
+        try:
+            resolved = self.resolve(request, constraint)
+        except Exception as exc:  # noqa: BLE001 - carried on the handle
+            handle = QueryHandle(_as_request(request, constraint))
+            handle._fail(_wrap_failure(handle, exc))
+            return handle
+        handle = QueryHandle(resolved)
+        self._admit([handle])
+        _serve_one(self, handle)
+        return handle
+
+    def submit_many(
+        self,
+        items: Iterable["QueryRequest | str | tuple[str, Constraint]"],
+        *,
+        constraint: Constraint | None = None,
+        fail_fast: bool = False,
+        max_workers: int | None = None,
+    ) -> list[QueryHandle]:
+        """Serve a batch of requests through the :class:`ServingScheduler`.
+
+        Items are :class:`QueryRequest`\\ s, bare SQL strings (planned
+        under ``constraint`` or the session default), or ``(sql,
+        constraint)`` pairs.  With ``fail_fast=False`` (default) a
+        failing item — including one that fails *resolution*, e.g. a
+        bare SQL string with no constraint anywhere — is reported on its
+        own handle (index + SQL prefix) and the rest of the batch
+        proceeds; ``fail_fast=True`` keeps the legacy abort-the-batch
+        behavior.  ``max_workers`` > 1 plans on a thread pool,
+        bit-identical to sequential submission.
+        """
+        entries: list[QueryRequest | QueryHandle] = []
+        for index, item in enumerate(items):
+            try:
+                if isinstance(item, (QueryRequest, str)):
+                    # resolve() rejects constraint-less items itself.
+                    entries.append(self.resolve(item, constraint))
+                else:
+                    sql, item_constraint = item
+                    entries.append(
+                        self.resolve(QueryRequest(sql=sql, constraint=item_constraint))
+                    )
+            except Exception as exc:  # noqa: BLE001 - carried on the handle
+                handle = QueryHandle(_as_request(item, constraint), index=index)
+                handle._fail(_wrap_failure(handle, exc))
+                if fail_fast:
+                    raise handle.error from exc
+                entries.append(handle)
+        scheduler = ServingScheduler(
+            self, max_workers=max_workers, fail_fast=fail_fast
+        )
+        return scheduler.run(entries)
+
+    def plan(
+        self,
+        sql: str,
+        constraint: Constraint | None = None,
+        *,
+        use_plan_cache: bool = True,
+    ) -> "tuple[BoundQuery, PlanChoice]":
+        """Bind + optimize without executing or logging (the serving-layer
+        planning path; see :meth:`CostIntelligentWarehouse.plan`)."""
+        resolved = constraint or self.default_constraint
+        if resolved is None:
+            raise ReproError(
+                "no constraint for query: pass one or give the session a default"
+            )
+        return self.warehouse._plan(sql, resolved, use_plan_cache)
+
+    # -- per-tenant views ----------------------------------------------- #
+    @property
+    def logs(self) -> "TenantLogView":
+        """This tenant's isolated view of the Statistics Service log."""
+        return self.warehouse.logs.for_tenant(self.tenant)
+
+    @property
+    def bill(self) -> TenantBill:
+        """This tenant's running bill (zeroed view if nothing served)."""
+        return self.warehouse.billing.get(self.tenant) or TenantBill(self.tenant)
+
+    @property
+    def dollars_spent(self) -> float:
+        return self.bill.dollars
+
+    # -- serving internals ---------------------------------------------- #
+    def _admit(self, handles: list[QueryHandle]) -> None:
+        """Assign warehouse-clock timestamps in submission order.
+
+        Done up front under the serving lock so threaded staging cannot
+        perturb the clock semantics sequential submission would have.
+        """
+        warehouse = self.warehouse
+        with warehouse._serving_lock:
+            for handle in handles:
+                at_time = handle.request.at_time
+                timestamp = warehouse.clock if at_time is None else at_time
+                warehouse.clock = max(warehouse.clock, timestamp)
+                handle.timestamp = timestamp
+
+    def _stage(self, handle: QueryHandle) -> _Staged:
+        """The concurrent phase: bind -> optimize -> execute -> simulate.
+
+        Deterministic given the request (caches only memoize pure
+        planning functions and the simulator derives its own RNG), so
+        outcomes, logs, and billing are exact on scheduler threads.
+        The optimizer/estimator *observability counters* (stage times,
+        memo hits, timing-evaluation counts) are updated without locks
+        and may under-count slightly under a concurrent batch; the
+        benchmark measures them on single-threaded runs only.
+        """
+        warehouse = self.warehouse
+        request = handle.request
+        handle._advance(handle.state, "queued")
+        assert request.constraint is not None  # resolved at submission
+
+        def on_bound(_bound: "BoundQuery") -> None:
+            handle._advance(QueryState.BOUND, "bind")
+
+        bound, choice = warehouse._plan(
+            request.sql, request.constraint, request.use_plan_cache, on_bound=on_bound
+        )
+        handle._advance(QueryState.PLANNED, "plan")
+
+        batch: "Batch | None" = None
+        truth = dict(request.truth) if request.truth is not None else None
+        if request.execute_locally:
+            if warehouse.database is None:
+                raise ReproError("cannot execute locally without a Database")
+            result = LocalExecutor(warehouse.database).execute(choice.plan)
+            batch = result.batch
+            if truth is None:
+                truth = {k: float(v) for k, v in result.true_rows.items()}
+            handle._advance(QueryState.PLANNED, "execute")
+
+        sim: "SimResult | None" = None
+        if request.simulate:
+            assert request.policy is not None  # resolved at submission
+            sim = warehouse._simulate(choice, request.constraint, request.policy, truth)
+            handle._advance(QueryState.SIMULATED, "simulate")
+        return _Staged(bound=bound, choice=choice, batch=batch, sim=sim)
+
+    def _finalize(self, handle: QueryHandle, staged: _Staged) -> None:
+        """The ordered phase: log, bill the tenant, track templates."""
+        warehouse = self.warehouse
+        request = handle.request
+        assert handle.timestamp is not None and request.constraint is not None
+        assert request.tenant is not None
+        with warehouse._serving_lock:
+            record = warehouse._log(
+                request.sql,
+                staged.bound,
+                request.template,
+                handle.timestamp,
+                staged.choice,
+                staged.sim,
+                request.constraint,
+                tenant=request.tenant,
+            )
+            warehouse._account(record)
+            warehouse._remember_template(request.template, staged.bound)
+        handle._complete(
+            QueryOutcome(
+                sql=request.sql,
+                choice=staged.choice,
+                sim=staged.sim,
+                batch=staged.batch,
+                record=record,
+                constraint=request.constraint,
+            )
+        )
+
+
+def _as_request(item: object, constraint: Constraint | None) -> QueryRequest:
+    """Best-effort request for a handle whose item failed resolution."""
+    if isinstance(item, QueryRequest):
+        return item
+    if isinstance(item, str):
+        return QueryRequest(sql=item, constraint=constraint)
+    return QueryRequest(sql=repr(item), constraint=constraint)
+
+
+def _wrap_failure(handle: QueryHandle, exc: Exception) -> QueryFailedError:
+    if isinstance(exc, QueryFailedError):
+        return exc
+    return QueryFailedError(
+        str(exc), index=handle.index, sql=handle.request.sql, cause=exc
+    )
+
+
+def _serve_one(session: Session, handle: QueryHandle) -> bool:
+    """Stage + finalize one admitted handle inline; False on failure."""
+    try:
+        session._finalize(handle, session._stage(handle))
+        return True
+    except Exception as exc:  # noqa: BLE001 - carried on the handle
+        handle._fail(_wrap_failure(handle, exc))
+        return False
+
+
+# --------------------------------------------------------------------- #
+# Scheduler
+# --------------------------------------------------------------------- #
+class ServingScheduler:
+    """Concurrent request scheduler over one session.
+
+    Splits serving into the deterministic *stage* phase (bind ->
+    optimize -> execute -> simulate), fanned out over a thread pool with
+    the lock-striped plan caches shared between workers, and the ordered
+    *finalize* phase (Statistics Service logging, per-tenant billing,
+    template bookkeeping) applied strictly in submission order.  A
+    threaded batch therefore produces bit-identical outcomes and an
+    identical, deterministic log to sequential submission — enforced by
+    the concurrency parity test.
+    """
+
+    def __init__(
+        self,
+        session: Session,
+        *,
+        max_workers: int | None = None,
+        fail_fast: bool = False,
+    ) -> None:
+        if max_workers is None:
+            max_workers = min(8, os.cpu_count() or 2)
+        if max_workers < 1:
+            raise ReproError(f"max_workers must be >= 1, got {max_workers}")
+        self.session = session
+        self.max_workers = max_workers
+        self.fail_fast = fail_fast
+
+    def run(
+        self, entries: "list[QueryRequest | QueryHandle]"
+    ) -> list[QueryHandle]:
+        """Serve resolved requests; already-failed handles (items that
+        died during resolution) pass through in position, unscheduled."""
+        handles = [
+            entry
+            if isinstance(entry, QueryHandle)
+            else QueryHandle(entry, index=index)
+            for index, entry in enumerate(entries)
+        ]
+        live = [handle for handle in handles if not handle.failed]
+        self.session._admit(live)
+        if self.max_workers == 1 or len(live) <= 1:
+            for handle in live:
+                if not _serve_one(self.session, handle) and self.fail_fast:
+                    assert handle.error is not None
+                    raise handle.error
+            return handles
+
+        with ThreadPoolExecutor(
+            max_workers=self.max_workers, thread_name_prefix="serving"
+        ) as pool:
+            futures = [pool.submit(self.session._stage, h) for h in live]
+            for handle, future in zip(live, futures):
+                try:
+                    staged = future.result()
+                    self.session._finalize(handle, staged)
+                except Exception as exc:  # noqa: BLE001 - carried on handle
+                    handle._fail(_wrap_failure(handle, exc))
+                    if self.fail_fast:
+                        for pending in futures:
+                            pending.cancel()
+                        raise handle.error from exc
+        return handles

@@ -6,23 +6,35 @@ with the DOP monitor) -> billing -> Statistics Service logs ->
 background auto-tuning.  Users state a latency SLA or a budget per query
 — never a T-shirt size — and receive results plus an auditable cost
 report, exactly the interaction model §2 calls for.
+
+The public serving API lives in :mod:`repro.core.service`
+(:class:`~repro.core.service.QueryRequest` in,
+:class:`~repro.core.service.QueryHandle` /
+:class:`~repro.core.service.QueryOutcome` out, per-tenant
+:class:`~repro.core.service.Session`\\ s, and the concurrent
+:class:`~repro.core.service.ServingScheduler`).  The warehouse owns the
+shared serving machinery — catalog, optimizer, the lock-striped
+three-level plan-cache stack, the Statistics Service log, and per-tenant
+billing — and keeps :meth:`CostIntelligentWarehouse.submit` /
+:meth:`~CostIntelligentWarehouse.submit_many` as thin shims over the
+default session so existing callers work unchanged.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Iterable
+import threading
+from dataclasses import replace as dataclasses_replace
+from typing import Callable, Iterable
 
 from repro.catalog.catalog import Catalog
 from repro.core.bioptimizer import BiObjectiveOptimizer, PlanChoice
 from repro.core.plan_cache import BindingCache, PlanCache, SkeletonCache
+from repro.core.service import QueryOutcome, QueryRequest, Session, TenantBill
 from repro.sql.parameterize import normalize_sql, parameterize_sql
 from repro.cost.estimator import CostEstimator
 from repro.cost.hardware import HardwareCalibration
 from repro.dop.constraints import Constraint
-from repro.engine.batch import Batch
 from repro.engine.database import Database
-from repro.engine.local_executor import LocalExecutor
 from repro.errors import ReproError
 from repro.monitor.policies import (
     IntervalScalerPolicy,
@@ -39,59 +51,6 @@ from repro.tuning.background import BackgroundComputeService
 from repro.tuning.whatif import WhatIfService
 
 POLICY_NAMES = ("dop-monitor", "static", "interval-scaler", "stage-scaler")
-
-
-@dataclass
-class QueryOutcome:
-    """Everything one submission produced."""
-
-    sql: str
-    choice: PlanChoice
-    sim: SimResult | None
-    batch: Batch | None
-    record: QueryRecord
-    constraint: Constraint
-
-    @property
-    def latency(self) -> float:
-        if self.sim is not None:
-            return self.sim.latency
-        return self.choice.dop_plan.estimate.latency
-
-    @property
-    def dollars(self) -> float:
-        if self.sim is not None:
-            return self.sim.total_dollars
-        return self.choice.dop_plan.estimate.total_dollars
-
-    @property
-    def sla_met(self) -> bool | None:
-        if self.constraint.latency_sla is None:
-            return None
-        return self.latency <= self.constraint.latency_sla
-
-    @property
-    def constraint_met(self) -> bool:
-        """Whether the outcome honored the user's constraint — the
-        latency SLA or the dollar budget, whichever was stated
-        (:attr:`sla_met` is ``None`` for budget-constrained queries;
-        this covers both kinds)."""
-        if self.constraint.is_sla:
-            return self.sla_met  # type: ignore[return-value]
-        assert self.constraint.budget is not None
-        return self.dollars <= self.constraint.budget
-
-    def describe(self) -> str:
-        from repro.util.units import fmt_dollars, fmt_duration
-
-        lines = [
-            f"constraint: {self.constraint.describe()}",
-            f"plan: {self.choice.describe()}",
-            f"outcome: latency={fmt_duration(self.latency)} "
-            f"cost={fmt_dollars(self.dollars)}",
-            f"constraint met: {self.constraint_met}",
-        ]
-        return "\n".join(lines)
 
 
 class CostIntelligentWarehouse:
@@ -128,7 +87,16 @@ class CostIntelligentWarehouse:
         self.max_dop = max_dop
         self.logs = QueryLogStore()
         self.clock = 0.0
-        self._template_queries: dict[str, BoundQuery] = {}
+        #: Per-tenant spend roll-up; ``billed_dollars`` totals it.
+        self.billing: dict[str, TenantBill] = {}
+        #: Orders admission (timestamps) and finalization (log append,
+        #: billing, template bookkeeping) under concurrent serving.
+        self._serving_lock = threading.Lock()
+        #: Representative bound query per template family, tagged with
+        #: the stats version it was bound under so the tuning advisor
+        #: never reasons over bindings from stale statistics.
+        self._template_queries: dict[str, tuple[int, BoundQuery]] = {}
+        self._default_session = Session(self)
         #: Serving-layer plan caches; ``plan_cache_size=0`` disables both
         #: levels.  Exact level: full plans keyed (normalized SQL,
         #: constraint, stats version).  Skeleton level: template plan
@@ -151,8 +119,29 @@ class CostIntelligentWarehouse:
         )
 
     # ------------------------------------------------------------------ #
-    # Query path
+    # Sessions / query path
     # ------------------------------------------------------------------ #
+    def session(
+        self,
+        *,
+        tenant: str = "default",
+        constraint: Constraint | None = None,
+        policy: str | ScalingPolicy | None = None,
+        template_namespace: str | None = None,
+    ) -> Session:
+        """Open a per-tenant session (the primary serving entry point).
+
+        The session carries the tenant's defaults, sees an isolated view
+        of the query log, and bills served queries against the tenant.
+        """
+        return Session(
+            self,
+            tenant=tenant,
+            constraint=constraint,
+            policy=policy,
+            template_namespace=template_namespace,
+        )
+
     def submit(
         self,
         sql: str,
@@ -168,71 +157,79 @@ class CostIntelligentWarehouse:
     ) -> QueryOutcome:
         """Optimize, (optionally) execute locally, and simulate one query.
 
-        ``truth`` overrides plan-node cardinalities in the simulator;
-        when ``execute_locally`` is set and the warehouse holds real
-        data, true cardinalities come from actual execution instead.
-
-        Binding and optimization are served from the plan cache when the
-        same normalized SQL was planned under the same constraint and
-        stats version; ``use_plan_cache=False`` forces a fresh plan.
+        Thin shim over the default :class:`~repro.core.service.Session`:
+        builds a :class:`~repro.core.service.QueryRequest` and returns
+        ``session.submit(request).result()``.  ``truth`` overrides
+        plan-node cardinalities in the simulator; when
+        ``execute_locally`` is set and the warehouse holds real data,
+        true cardinalities come from actual execution instead.
+        ``use_plan_cache=False`` forces a fresh plan.
         """
-        timestamp = self.clock if at_time is None else at_time
-        self.clock = max(self.clock, timestamp)
-
-        bound, choice = self._plan(sql, constraint, use_plan_cache)
-        self._template_queries[template] = bound
-
-        batch: Batch | None = None
-        if execute_locally:
-            if self.database is None:
-                raise ReproError("cannot execute locally without a Database")
-            result = LocalExecutor(self.database).execute(choice.plan)
-            batch = result.batch
-            if truth is None:
-                truth = {k: float(v) for k, v in result.true_rows.items()}
-
-        sim_result: SimResult | None = None
-        if simulate:
-            sim_result = self._simulate(choice, constraint, policy, truth)
-
-        record = self._log(sql, bound, template, timestamp, choice, sim_result, constraint)
-        return QueryOutcome(
+        request = QueryRequest(
             sql=sql,
-            choice=choice,
-            sim=sim_result,
-            batch=batch,
-            record=record,
             constraint=constraint,
+            template=template,
+            at_time=at_time,
+            policy=policy,
+            execute_locally=execute_locally,
+            simulate=simulate,
+            truth=truth,
+            use_plan_cache=use_plan_cache,
         )
+        handle = self._default_session.submit(request)
+        if handle.error is not None and handle.error.cause is not None:
+            # Legacy contract: submit() raises the original error type
+            # (BindError, ParseError, ...), not the serving wrapper —
+            # pre-redesign callers catch concrete subclasses.
+            raise handle.error.cause
+        return handle.result()
 
     def submit_many(
         self,
-        queries: Iterable[str | tuple[str, Constraint]],
+        queries: Iterable[str | tuple[str, Constraint] | QueryRequest],
         *,
         constraint: Constraint | None = None,
+        max_workers: int = 1,
         **submit_kwargs,
     ) -> list[QueryOutcome]:
-        """Submit a batch of queries through one warehouse session.
+        """Submit a batch through the default session's scheduler.
 
         ``queries`` yields SQL strings (planned under the shared
-        ``constraint``) or ``(sql, constraint)`` pairs.  The binding and
-        planning amortization comes from the plan cache each
-        :meth:`submit` consults: a workload driver replaying a template
-        pool pays for each distinct (SQL, constraint) plan once.
-        Remaining keyword arguments are forwarded to :meth:`submit`.
+        ``constraint``), ``(sql, constraint)`` pairs, or full
+        :class:`~repro.core.service.QueryRequest`\\ s.  Remaining keyword
+        arguments become request fields — batch-wide settings that also
+        override the corresponding fields of explicit ``QueryRequest``
+        items, and the shared ``constraint`` fills any request without
+        one.  ``max_workers`` > 1 plans on
+        the concurrent :class:`~repro.core.service.ServingScheduler`
+        (bit-identical outcomes, deterministic log order).  A failing
+        item aborts the batch with a
+        :class:`~repro.errors.QueryFailedError` naming the item; use
+        :meth:`Session.submit_many` with ``fail_fast=False`` for
+        per-handle error reporting instead.
         """
-        outcomes: list[QueryOutcome] = []
+        requests: list[QueryRequest] = []
         for item in queries:
-            if isinstance(item, str):
+            if isinstance(item, QueryRequest):
+                request = item.replace(**submit_kwargs) if submit_kwargs else item
+                if request.constraint is None and constraint is not None:
+                    request = request.replace(constraint=constraint)
+            elif isinstance(item, str):
                 if constraint is None:
                     raise ReproError(
                         "submit_many needs a shared constraint for bare SQL items"
                     )
-                sql, item_constraint = item, constraint
+                request = QueryRequest(sql=item, constraint=constraint, **submit_kwargs)
             else:
                 sql, item_constraint = item
-            outcomes.append(self.submit(sql, item_constraint, **submit_kwargs))
-        return outcomes
+                request = QueryRequest(
+                    sql=sql, constraint=item_constraint, **submit_kwargs
+                )
+            requests.append(request)
+        handles = self._default_session.submit_many(
+            requests, fail_fast=True, max_workers=max_workers
+        )
+        return [handle.result() for handle in handles]
 
     def plan(
         self, sql: str, constraint: Constraint, *, use_plan_cache: bool = True
@@ -246,11 +243,22 @@ class CostIntelligentWarehouse:
         return self._plan(sql, constraint, use_plan_cache)
 
     def _plan(
-        self, sql: str, constraint: Constraint, use_plan_cache: bool
+        self,
+        sql: str,
+        constraint: Constraint,
+        use_plan_cache: bool,
+        on_bound: Callable[[BoundQuery], None] | None = None,
     ) -> tuple[BoundQuery, PlanChoice]:
-        """Bind + optimize, via the two-level plan cache when possible."""
+        """Bind + optimize, via the two-level plan cache when possible.
+
+        ``on_bound`` fires as soon as the bound query is available (from
+        a cache or a fresh bind) — the serving layer uses it to stamp the
+        :class:`~repro.core.service.QueryHandle`'s ``BOUND`` transition.
+        """
         if not use_plan_cache or self.plan_cache is None:
             bound = self.binder.bind_sql(sql)
+            if on_bound is not None:
+                on_bound(bound)
             return bound, self.optimizer.optimize(bound, constraint)
 
         if not self.parameterized_serving:
@@ -259,8 +267,12 @@ class CostIntelligentWarehouse:
             key = (normalize_sql(sql), constraint, self.catalog.version)
             cached = self.plan_cache.lookup(key)
             if cached is not None:
+                if on_bound is not None:
+                    on_bound(cached[0])
                 return cached
             bound = self.binder.bind_sql(sql)
+            if on_bound is not None:
+                on_bound(bound)
             choice = self.optimizer.optimize(bound, constraint)
             self.plan_cache.store(key, bound, choice)
             return bound, choice
@@ -271,6 +283,8 @@ class CostIntelligentWarehouse:
         exact_key = (normalized, constraint, version)
         cached = self.plan_cache.lookup(exact_key)
         if cached is not None:
+            if on_bound is not None:
+                on_bound(cached[0])
             return cached
 
         # Binding (and, via the optimizer's DAG memo keyed on the bound
@@ -289,6 +303,8 @@ class CostIntelligentWarehouse:
             )
             if self.binding_cache is not None:
                 self.binding_cache.store(binding_key, bound)
+        if on_bound is not None:
+            on_bound(bound)
         skeleton_key = None
         trees = None
         if self.skeleton_cache is not None:
@@ -312,15 +328,61 @@ class CostIntelligentWarehouse:
         return bound, choice
 
     def invalidate_plan_cache(self) -> None:
-        """Explicitly flush cached plans and skeletons (catalog mutations
-        invalidate automatically via the stats version; use this after
-        out-of-band changes such as hardware recalibration)."""
+        """Explicitly flush cached plans, skeletons, and template
+        bindings (catalog mutations invalidate automatically via the
+        stats version; use this after out-of-band changes such as
+        hardware recalibration)."""
         if self.plan_cache is not None:
             self.plan_cache.invalidate()
         if self.skeleton_cache is not None:
             self.skeleton_cache.invalidate()
         if self.binding_cache is not None:
             self.binding_cache.invalidate()
+        # The representative template bindings embed the same statistics
+        # the plan caches do; a flush that leaves them behind would hand
+        # the tuning advisor bound queries from a world that no longer
+        # exists.
+        self._template_queries.clear()
+
+    @property
+    def template_queries(self) -> dict[str, BoundQuery]:
+        """Representative bound query per template family, restricted to
+        bindings made under the *current* stats version (stale ones are
+        invisible until the template is served again)."""
+        version = self.catalog.version
+        return {
+            template: bound
+            for template, (bound_version, bound) in self._template_queries.items()
+            if bound_version == version
+        }
+
+    def _remember_template(self, template: str, bound: BoundQuery) -> None:
+        self._template_queries[template] = (self.catalog.version, bound)
+
+    def _account(self, record: QueryRecord) -> None:
+        """Roll one served query into the tenant's running bill."""
+        bill = self.billing.get(record.tenant)
+        if bill is None:
+            bill = self.billing[record.tenant] = TenantBill(record.tenant)
+        bill.charge(record)
+
+    @property
+    def billed_dollars(self) -> float:
+        """Total dollars billed across all tenants."""
+        return sum(bill.dollars for bill in self.billing.values())
+
+    def describe_billing(self) -> str:
+        """Per-tenant spend roll-up, one line per tenant plus the total."""
+        if not self.billing:
+            return "billing: no queries served"
+        lines = [
+            f"  {bill.tenant}: {bill.queries} queries, ${bill.dollars:.4f}, "
+            f"{bill.machine_seconds:.1f} machine-seconds"
+            for bill in sorted(self.billing.values(), key=lambda b: b.tenant)
+        ]
+        return "billing by tenant:\n" + "\n".join(lines) + (
+            f"\n  total: ${self.billed_dollars:.4f}"
+        )
 
     def reset_cache_stats(self) -> None:
         """Zero all cache and optimizer counters without dropping
@@ -330,10 +392,7 @@ class CostIntelligentWarehouse:
                 cache.reset_stats()
         if self.estimator.models.cache is not None:
             self.estimator.models.cache.stats.reset()
-        self.optimizer.dag_memo_hits = 0
-        self.optimizer.dag_plans = 0
-        for stage in self.optimizer.stage_times:
-            self.optimizer.stage_times[stage] = 0.0
+        self.optimizer.reset_counters()
 
     def describe_caches(self) -> dict[str, dict[str, float | int]]:
         """Hit-rate observability across the serving-layer caches.
@@ -391,9 +450,7 @@ class CostIntelligentWarehouse:
         )
         config = self.sim_config
         if getattr(policy_obj, "name", "") == "stage-scaler":
-            config = SimConfig(
-                **{**config.__dict__, "materialize_exchanges": True}
-            )
+            config = dataclasses_replace(config, materialize_exchanges=True)
         simulator = DistributedSimulator(
             choice.dag,
             choice.dop_plan.dops,
@@ -455,6 +512,7 @@ class CostIntelligentWarehouse:
         choice: PlanChoice,
         sim: SimResult | None,
         constraint: Constraint,
+        tenant: str = "default",
     ) -> QueryRecord:
         columns: set[str] = set()
         filter_columns: set[str] = set()
@@ -498,6 +556,7 @@ class CostIntelligentWarehouse:
             dollars=dollars,
             bytes_scanned=bytes_scanned,
             sla_seconds=constraint.latency_sla,
+            tenant=tenant,
         )
         self.logs.append(record)
         return record
@@ -521,7 +580,10 @@ class CostIntelligentWarehouse:
         if storage_budget_bytes is not None:
             kwargs["storage_budget_bytes"] = storage_budget_bytes
         advisor = AutoTuningAdvisor(self.catalog, whatif, **kwargs)
-        proposals = advisor.propose(self.logs, self._template_queries)
+        # Only current-version bindings: the advisor must never reason
+        # over queries bound against statistics that no longer hold.
+        template_queries = self.template_queries
+        proposals = advisor.propose(self.logs, template_queries)
         if apply and proposals.accepted:
             background = BackgroundComputeService(
                 database=self.database, catalog=self.catalog
@@ -532,7 +594,7 @@ class CostIntelligentWarehouse:
             for report in proposals.accepted:
                 if report.kind == "materialized-view":
                     template = report.action_name.removeprefix("mv_")
-                    query = self._template_queries.get(template)
+                    query = template_queries.get(template)
                     if query is None:
                         continue
                     candidate = mv_candidate_from_query(

@@ -71,6 +71,39 @@ class ExecutionError(ReproError):
     """Local engine or distributed-simulation failure at run time."""
 
 
+class QueryFailedError(ReproError):
+    """One submission failed inside the serving layer.
+
+    Carries enough context to identify the failing item in a batch —
+    its position, a prefix of its SQL, and the underlying cause — so a
+    ``submit_many`` over hundreds of queries reports *which* one broke
+    instead of a bare subsystem error.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        index: int | None = None,
+        sql: str | None = None,
+        cause: BaseException | None = None,
+    ) -> None:
+        prefix = None
+        if sql is not None:
+            prefix = sql if len(sql) <= 80 else sql[:77] + "..."
+        where = "query" if index is None else f"query #{index}"
+        detail = f"{where} failed: {message}" if message else f"{where} failed"
+        if prefix is not None:
+            detail = f"{detail} [sql: {prefix}]"
+        super().__init__(detail)
+        self.index = index
+        self.sql = sql
+        self.sql_prefix = prefix
+        self.cause = cause
+        if cause is not None:
+            self.__cause__ = cause
+
+
 class TuningError(ReproError):
     """Auto-tuning / what-if service failure."""
 

@@ -33,6 +33,7 @@ class QueryRecord:
     dollars: float = 0.0
     bytes_scanned: float = 0.0
     sla_seconds: float | None = None
+    tenant: str = "default"
 
     @property
     def sla_met(self) -> bool | None:
@@ -85,3 +86,50 @@ class QueryLogStore:
         if not self._records:
             return (0.0, 0.0)
         return (self._records[0].timestamp, self._records[-1].timestamp)
+
+    def for_tenant(self, tenant: str) -> "TenantLogView":
+        """An isolated, read-only view of this store for one tenant."""
+        return TenantLogView(self, tenant)
+
+
+class TenantLogView:
+    """Read-only per-tenant projection of a shared :class:`QueryLogStore`.
+
+    The Statistics Service keeps one ground-truth log per warehouse
+    ("collects the query execution logs from all the tenants"); each
+    :class:`~repro.core.service.Session` sees only its tenant's records
+    through this view.  It mirrors the store's read API so per-tenant
+    analysis (forecasting, accounting) runs unchanged over a slice.
+    """
+
+    def __init__(self, store: QueryLogStore, tenant: str) -> None:
+        self._store = store
+        self.tenant = tenant
+
+    def __iter__(self) -> Iterator[QueryRecord]:
+        return (r for r in self._store if r.tenant == self.tenant)
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self)
+
+    def window(self, start: float, end: float) -> list[QueryRecord]:
+        """This tenant's records with ``start <= timestamp < end``."""
+        return [r for r in self._store.window(start, end) if r.tenant == self.tenant]
+
+    def by_template(self) -> dict[str, list[QueryRecord]]:
+        grouped: dict[str, list[QueryRecord]] = {}
+        for record in self:
+            grouped.setdefault(record.template, []).append(record)
+        return grouped
+
+    @property
+    def total_dollars(self) -> float:
+        return sum(r.dollars for r in self)
+
+    @property
+    def horizon(self) -> tuple[float, float]:
+        """(first, last) record timestamps of this tenant; (0, 0) when empty."""
+        timestamps = [r.timestamp for r in self]
+        if not timestamps:
+            return (0.0, 0.0)
+        return (timestamps[0], timestamps[-1])

@@ -57,6 +57,67 @@ def test_plan_cache_rejects_zero_capacity():
         PlanCache(capacity=0)
 
 
+# --------------------------- lock striping ---------------------------- #
+def test_small_caches_stay_single_stripe():
+    """Tiny capacities collapse to one stripe so sequential LRU
+    eviction semantics are exact (the tests above rely on this)."""
+    assert PlanCache(capacity=2).stripe_count == 1
+    assert PlanCache(capacity=63).stripe_count == 1
+
+
+def test_default_capacity_is_striped():
+    cache = PlanCache(capacity=256)
+    assert cache.stripe_count == 4
+    # Stripe capacities sum to the nominal capacity.
+    assert sum(s.capacity for s in cache._stripes) == 256
+
+
+def test_striped_cache_aggregates_counters():
+    cache = PlanCache(capacity=256)
+    for index in range(32):
+        cache.store(("key", index), "bound", "choice")
+    assert len(cache) == 32
+    hits = sum(cache.lookup(("key", index)) is not None for index in range(32))
+    assert hits == 32 and cache.hits == 32
+    assert cache.lookup("missing") is None
+    assert cache.misses == 1
+    assert "stripe" in cache.describe()
+    cache.reset_stats()
+    assert cache.hits == cache.misses == 0
+    cache.invalidate()
+    assert len(cache) == 0
+
+
+def test_striped_cache_survives_concurrent_hammer():
+    """Threads mixing lookups and stores over a shared striped cache
+    must never corrupt it (the scheduler's planning threads do this)."""
+    import threading
+
+    cache = PlanCache(capacity=256)
+    errors = []
+
+    def worker(worker_id: int) -> None:
+        try:
+            for step in range(400):
+                key = ("q", (worker_id * 7 + step) % 97)
+                found = cache.lookup(key)
+                if found is None:
+                    cache.store(key, f"bound-{key}", f"choice-{key}")
+                else:
+                    assert found == (f"bound-{key}", f"choice-{key}")
+        except Exception as exc:  # pragma: no cover - failure path
+            errors.append(exc)
+
+    threads = [threading.Thread(target=worker, args=(i,)) for i in range(8)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    assert not errors
+    assert len(cache) <= 256
+    assert cache.hits + cache.misses == 8 * 400
+
+
 # --------------------------- warehouse hits --------------------------- #
 def test_repeat_submission_hits_cache(warehouse):
     constraint = sla_constraint(12.0)
@@ -207,6 +268,20 @@ def test_tuning_apply_invalidates_via_version(warehouse):
 
 
 # --------------------------- submit_many ------------------------------ #
+def test_submit_many_request_items_inherit_shared_settings(warehouse):
+    """QueryRequest items honor the shared constraint and batch-wide
+    keyword arguments, like str/tuple items do."""
+    from repro.core.service import QueryRequest
+
+    outcomes = warehouse.submit_many(
+        [QueryRequest(sql=Q1), QueryRequest(sql=Q1)],
+        constraint=sla_constraint(12.0),
+        simulate=False,
+    )
+    assert all(o.sim is None for o in outcomes)
+    assert all(o.constraint.latency_sla == 12.0 for o in outcomes)
+
+
 def test_submit_many_shared_constraint(warehouse):
     sql = instantiate("q1_pricing_summary", seed=1)
     outcomes = warehouse.submit_many([sql, sql, Q1], constraint=sla_constraint(12.0))

@@ -1,0 +1,144 @@
+"""API-surface snapshot: the public names and signatures callers rely on.
+
+A failing test here means a breaking change to the serving API — update
+the snapshot deliberately, alongside the examples and the quickstart.
+"""
+
+import inspect
+import warnings
+
+import pytest
+
+import repro
+from repro import (
+    CostIntelligentWarehouse,
+    QueryHandle,
+    QueryRequest,
+    QueryState,
+    Session,
+)
+from repro.dop.constraints import sla_constraint
+
+EXPECTED_ALL = [
+    "Catalog",
+    "BiObjectiveOptimizer",
+    "CostIntelligentWarehouse",
+    "QueryHandle",
+    "QueryOutcome",
+    "QueryRequest",
+    "QueryState",
+    "ServingScheduler",
+    "Session",
+    "CostEstimator",
+    "HardwareCalibration",
+    "DopPlanner",
+    "sla_constraint",
+    "budget_constraint",
+    "Database",
+    "LocalExecutor",
+    "DistributedSimulator",
+    "SimConfig",
+    "Binder",
+    "load_tpch",
+    "synthetic_tpch_catalog",
+    "__version__",
+]
+
+
+def test_repro_all_snapshot():
+    assert list(repro.__all__) == EXPECTED_ALL
+    for name in repro.__all__:
+        assert hasattr(repro, name), f"repro.__all__ exports missing name {name}"
+
+
+def test_query_request_field_snapshot():
+    assert [f.name for f in QueryRequest.__dataclass_fields__.values()] == [
+        "sql",
+        "constraint",
+        "template",
+        "at_time",
+        "policy",
+        "execute_locally",
+        "simulate",
+        "truth",
+        "use_plan_cache",
+        "tenant",
+    ]
+    # Only the SQL is required; everything else defaults or resolves
+    # from the session.
+    parameters = inspect.signature(QueryRequest).parameters
+    required = [n for n, p in parameters.items() if p.default is inspect.Parameter.empty]
+    assert required == ["sql"]
+
+
+def test_session_signatures():
+    submit = inspect.signature(Session.submit)
+    assert list(submit.parameters) == ["self", "request", "constraint"]
+    submit_many = inspect.signature(Session.submit_many)
+    assert list(submit_many.parameters) == [
+        "self",
+        "items",
+        "constraint",
+        "fail_fast",
+        "max_workers",
+    ]
+    assert submit_many.parameters["fail_fast"].default is False
+    session_factory = inspect.signature(CostIntelligentWarehouse.session)
+    assert list(session_factory.parameters) == [
+        "self",
+        "tenant",
+        "constraint",
+        "policy",
+        "template_namespace",
+    ]
+
+
+def test_handle_surface():
+    members = {"result", "describe", "done", "failed"}
+    assert members <= {name for name in dir(QueryHandle) if not name.startswith("_")}
+    assert {state.name for state in QueryState} == {
+        "QUEUED",
+        "BOUND",
+        "PLANNED",
+        "SIMULATED",
+        "DONE",
+        "FAILED",
+    }
+
+
+def test_warehouse_submit_shim_signature_unchanged():
+    """The legacy entry point keeps its exact keyword surface."""
+    signature = inspect.signature(CostIntelligentWarehouse.submit)
+    assert list(signature.parameters) == [
+        "self",
+        "sql",
+        "constraint",
+        "template",
+        "at_time",
+        "policy",
+        "execute_locally",
+        "simulate",
+        "truth",
+        "use_plan_cache",
+    ]
+
+
+@pytest.fixture()
+def stats_warehouse():
+    from repro.workloads.tpch_stats import synthetic_tpch_catalog
+
+    return CostIntelligentWarehouse(catalog=synthetic_tpch_catalog(1.0))
+
+
+def test_submit_shim_emits_no_warnings(stats_warehouse):
+    """The legacy submit()/submit_many() shims are supported API, not a
+    deprecation trap: using them must stay silent."""
+    with warnings.catch_warnings():
+        warnings.simplefilter("error")
+        outcome = stats_warehouse.submit(
+            "SELECT count(*) AS c FROM orders", sla_constraint(15.0)
+        )
+        stats_warehouse.submit_many(
+            ["SELECT count(*) AS c FROM orders"], constraint=sla_constraint(15.0)
+        )
+    assert outcome.constraint_met is not None
