@@ -1,18 +1,28 @@
 """§4 demo: cost-oriented auto-tuning end to end.
 
 Runs a recurring workload through the warehouse, lets the Statistics
-Service accumulate logs, and asks the advisor for tuning proposals.  Each
-proposal is a customer-readable dollar report (savings x vs cost y, with
-break-even horizon).  Accepted actions are applied physically —
-materialized views are actually built from the data and a query from the
-same family verifiably returns identical results from the view.
+Service accumulate logs, and asks the warehouse's persistent
+``TuningService`` for typed recommendations.  Each recommendation
+carries a customer-readable dollar report (savings x vs cost y, with
+break-even horizon) plus the candidate object itself — no string
+parsing anywhere.  Accepted actions are applied physically on
+background compute (spend metered per tenant); a query from the same
+family is then served *from the view* and verifiably returns identical
+results, after which one action is rolled back to show that tuning is
+reversible, restoring the pre-tuning catalog bit-for-bit.
 
 Run:  python examples/auto_tuning.py
 """
 
 import numpy as np
 
-from repro import CostIntelligentWarehouse, QueryRequest, load_tpch, sla_constraint
+from repro import (
+    CostIntelligentWarehouse,
+    MaterializeView,
+    QueryRequest,
+    load_tpch,
+    sla_constraint,
+)
 from repro.workloads import instantiate
 
 
@@ -51,34 +61,61 @@ def main() -> None:
         "ordering"
     )
 
-    print("\n=== advisor proposals (What-If dollar reports) ===")
-    proposals = warehouse.run_tuning_cycle(apply=True)
-    print(proposals.describe())
+    print("\n=== tuning recommendations (What-If dollar reports) ===")
+    service = warehouse.tuning
+    recommendations = service.propose()
+    for rec in recommendations:
+        print(rec.report.describe())
+    applied = service.apply_all()
+    print(
+        f"\napplied {len(applied)} of {len(recommendations)} recommendations "
+        f"on background compute (${service.background_dollars:.4f}, metered "
+        "to the originating tenants)"
+    )
+    print(warehouse.describe_billing())
 
-    applied = [r for r in proposals.accepted if r.kind == "materialized-view"]
-    if applied:
-        mv_name = applied[0].action_name
-        template = mv_name.removeprefix("mv_")
-        print(f"\n=== verifying {mv_name} answers the {template} family ===")
+    mvs = [rec for rec in applied if isinstance(rec.action, MaterializeView)]
+    if mvs:
+        rec = mvs[0]
+        candidate = rec.action.candidate  # carried end-to-end, no parsing
+        template = rec.report.impacts[0].template
+        print(f"\n=== serving the {template} family from {candidate.name} ===")
+        sql = instantiate(template, seed=1)
+        outcome = session.submit(
+            QueryRequest(sql=sql, execute_locally=True)
+        ).result()
+        print(
+            f"served from tables {outcome.record.tables} at "
+            f"${outcome.dollars:.6f}"
+        )
+        assert outcome.record.tables == (candidate.name,)
+
+        # Cross-check: the view answers identically to the base tables.
         from repro.engine.local_executor import LocalExecutor
         from repro.optimizer.dag_planner import DagPlanner
-        from repro.tuning.mv import mv_candidate_from_query, try_rewrite
 
-        bound = warehouse.binder.bind_sql(instantiate(template, seed=99))
-        candidate = mv_candidate_from_query(bound, warehouse.catalog, name=mv_name)
-        rewritten = try_rewrite(bound, candidate)
-        executor = LocalExecutor(database)
-        planner = DagPlanner(warehouse.catalog)
-        original = executor.execute(planner.plan(bound)).batch
-        from_view = executor.execute(planner.plan(rewritten)).batch
-        first_metric = bound.select_names[-1]
+        bound = warehouse.binder.bind_sql(sql)
+        original = LocalExecutor(database).execute(
+            DagPlanner(warehouse.catalog).plan(bound)
+        ).batch
+        metric = bound.select_names[-1]
         same = np.allclose(
-            np.sort(original.column(first_metric)),
-            np.sort(from_view.column(first_metric)),
+            np.sort(original.column(metric)),
+            np.sort(outcome.batch.column(metric)),
         )
         print(
-            f"rows: base-tables={original.num_rows}, via-MV={from_view.num_rows}; "
-            f"metric '{first_metric}' identical: {same}"
+            f"rows: base-tables={original.num_rows}, "
+            f"via-MV={outcome.batch.num_rows}; metric {metric!r} "
+            f"identical: {same}"
+        )
+
+        print(f"\n=== rolling {rec.action.name} back ===")
+        service.rollback(rec)
+        restored = session.submit(QueryRequest(sql=sql)).result()
+        print(
+            f"[{rec.state.value}] view dropped: "
+            f"{not warehouse.catalog.has_view(candidate.name)}; the family "
+            f"plans over {restored.record.tables} again"
         )
 
 

@@ -16,6 +16,15 @@ per-stage timings; ``result()`` yields the :class:`QueryOutcome` (plan,
 latency, auditable dollars).  Batches plan concurrently via the
 :class:`ServingScheduler`, bit-identical to sequential submission.
 
+Auto-tuning mirrors that model: ``warehouse.tuning`` is a persistent
+:class:`TuningService` whose ``propose()`` returns typed
+:class:`Recommendation`\\ s (``PROPOSED -> ACCEPTED -> APPLYING ->
+APPLIED / REJECTED / ROLLED_BACK / FAILED``) carrying their What-If
+dollar reports; ``apply()`` runs on background compute with spend
+metered per tenant, and ``rollback()`` restores bit-identical plans and
+catalog state.  A :class:`TuningPolicy` drives recurring cycles from the
+serving layer.
+
 Quickstart::
 
     from repro import (
@@ -49,10 +58,21 @@ from repro.dop import DopPlanner, budget_constraint, sla_constraint
 from repro.engine import Database, LocalExecutor
 from repro.sim import DistributedSimulator, SimConfig
 from repro.sql import Binder
+from repro.tuning import (
+    MaterializeView,
+    Recluster,
+    Recommendation,
+    RecommendationState,
+    ResizeWarehouse,
+    TuningAction,
+    TuningPolicy,
+    TuningReport,
+    TuningService,
+)
 from repro.workloads import load_tpch
 from repro.workloads.tpch_stats import synthetic_tpch_catalog
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "Catalog",
@@ -74,6 +94,15 @@ __all__ = [
     "DistributedSimulator",
     "SimConfig",
     "Binder",
+    "TuningAction",
+    "MaterializeView",
+    "Recluster",
+    "ResizeWarehouse",
+    "Recommendation",
+    "RecommendationState",
+    "TuningPolicy",
+    "TuningReport",
+    "TuningService",
     "load_tpch",
     "synthetic_tpch_catalog",
     "__version__",

@@ -252,17 +252,36 @@ class QueryHandle:
 # --------------------------------------------------------------------- #
 @dataclass
 class TenantBill:
-    """Running per-tenant spend, rolled up into warehouse billing."""
+    """Running per-tenant spend, rolled up into warehouse billing.
+
+    Serving dollars (``dollars``) and background-tuning dollars
+    (``background_dollars``) are metered separately so experiments can
+    report foreground vs background spend per tenant; the
+    :class:`~repro.tuning.service.TuningService` attributes each applied
+    action's cost to the tenants whose traffic motivated it.
+    """
 
     tenant: str
     queries: int = 0
     dollars: float = 0.0
     machine_seconds: float = 0.0
+    background_dollars: float = 0.0
+    background_actions: int = 0
 
     def charge(self, record: "QueryRecord") -> None:
         self.queries += 1
         self.dollars += record.dollars
         self.machine_seconds += record.machine_seconds
+
+    def charge_background(self, dollars: float) -> None:
+        """Meter one background tuning apply/rollback against this tenant."""
+        self.background_actions += 1
+        self.background_dollars += dollars
+
+    @property
+    def total_dollars(self) -> float:
+        """Serving plus background spend."""
+        return self.dollars + self.background_dollars
 
 
 # --------------------------------------------------------------------- #
@@ -339,6 +358,7 @@ class Session:
         handle = QueryHandle(resolved)
         self._admit([handle])
         _serve_one(self, handle)
+        self.warehouse._maybe_autotune()
         return handle
 
     def submit_many(
@@ -381,7 +401,11 @@ class Session:
         scheduler = ServingScheduler(
             self, max_workers=max_workers, fail_fast=fail_fast
         )
-        return scheduler.run(entries)
+        handles = scheduler.run(entries)
+        # Recurring tuning runs *between* batches (policy cadence), never
+        # while scheduler threads are staging over the shared caches.
+        self.warehouse._maybe_autotune()
+        return handles
 
     def plan(
         self,

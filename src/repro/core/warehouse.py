@@ -18,6 +18,14 @@ three-level plan-cache stack, the Statistics Service log, and per-tenant
 billing — and keeps :meth:`CostIntelligentWarehouse.submit` /
 :meth:`~CostIntelligentWarehouse.submit_many` as thin shims over the
 default session so existing callers work unchanged.
+
+The tuning surface mirrors it in :mod:`repro.tuning.service`:
+``warehouse.tuning`` is a persistent
+:class:`~repro.tuning.service.TuningService` whose typed
+:class:`~repro.tuning.service.Recommendation`\\ s are applied and rolled
+back with full serving-cache coherence;
+:meth:`~CostIntelligentWarehouse.run_tuning_cycle` is the deprecated
+shim over it.
 """
 
 from __future__ import annotations
@@ -46,9 +54,9 @@ from repro.plan.expressions import referenced_columns
 from repro.sim.distsim import DistributedSimulator, ScalingPolicy, SimConfig, SimResult
 from repro.sql.binder import Binder, BoundQuery
 from repro.statsvc.logs import QueryLogStore, QueryRecord
-from repro.tuning.advisor import AdvisorProposals, AutoTuningAdvisor
-from repro.tuning.background import BackgroundComputeService
-from repro.tuning.whatif import WhatIfService
+from repro.tuning.advisor import AdvisorProposals
+from repro.tuning.mv import MVCandidate, try_rewrite
+from repro.tuning.service import TuningPolicy, TuningService
 
 POLICY_NAMES = ("dop-monitor", "static", "interval-scaler", "stage-scaler")
 
@@ -68,6 +76,7 @@ class CostIntelligentWarehouse:
         explore_bushy: bool = True,
         plan_cache_size: int = 256,
         parameterized_serving: bool = True,
+        tuning_policy: TuningPolicy | None = None,
     ) -> None:
         if database is None and catalog is None:
             raise ReproError("provide a Database (with data) or a Catalog (stats-only)")
@@ -97,6 +106,14 @@ class CostIntelligentWarehouse:
         #: never reasons over bindings from stale statistics.
         self._template_queries: dict[str, tuple[int, BoundQuery]] = {}
         self._default_session = Session(self)
+        #: The persistent tuning service (lazily created on first use);
+        #: ``tuning_policy`` configures cadence / budgets / auto-apply.
+        self.tuning_policy = tuning_policy
+        self._tuning: TuningService | None = None
+        #: Applied materialized views, by name.  The serving plan path
+        #: rewrites matching queries onto these views, so an applied MV
+        #: actually changes served plans (and a rollback restores them).
+        self._applied_mvs: dict[str, MVCandidate] = {}
         #: Serving-layer plan caches; ``plan_cache_size=0`` disables both
         #: levels.  Exact level: full plans keyed (normalized SQL,
         #: constraint, stats version).  Skeleton level: template plan
@@ -256,7 +273,7 @@ class CostIntelligentWarehouse:
         :class:`~repro.core.service.QueryHandle`'s ``BOUND`` transition.
         """
         if not use_plan_cache or self.plan_cache is None:
-            bound = self.binder.bind_sql(sql)
+            bound = self._maybe_rewrite_mv(self.binder.bind_sql(sql))
             if on_bound is not None:
                 on_bound(bound)
             return bound, self.optimizer.optimize(bound, constraint)
@@ -270,7 +287,7 @@ class CostIntelligentWarehouse:
                 if on_bound is not None:
                     on_bound(cached[0])
                 return cached
-            bound = self.binder.bind_sql(sql)
+            bound = self._maybe_rewrite_mv(self.binder.bind_sql(sql))
             if on_bound is not None:
                 on_bound(bound)
             choice = self.optimizer.optimize(bound, constraint)
@@ -303,6 +320,11 @@ class CostIntelligentWarehouse:
             )
             if self.binding_cache is not None:
                 self.binding_cache.store(binding_key, bound)
+        # MV rewriting happens after the binding cache (which keeps the
+        # original binding) and is deterministic per (template, catalog
+        # version), so skeleton reuse stays coherent: every instance of a
+        # template either rewrites onto the view or none does.
+        bound = self._maybe_rewrite_mv(bound)
         if on_bound is not None:
             on_bound(bound)
         skeleton_key = None
@@ -326,6 +348,35 @@ class CostIntelligentWarehouse:
             )
         self.plan_cache.store(exact_key, bound, choice)
         return bound, choice
+
+    def _maybe_rewrite_mv(self, bound: BoundQuery) -> BoundQuery:
+        """Rewrite a bound query onto an applied materialized view.
+
+        Applied MVs must change served plans — without this hook the
+        caches would keep returning (version-keyed but semantically
+        pre-tuning) base-table plans forever.  Rewrites only happen for
+        views the :class:`~repro.tuning.service.TuningService` has
+        applied and that are still present in the catalog, so a rollback
+        (or an out-of-band drop) immediately restores base-table plans.
+        """
+        if not self._applied_mvs:
+            return bound
+        assert self.catalog is not None
+        for candidate in self._applied_mvs.values():
+            if not self.catalog.has_table(candidate.name) or not self.catalog.has_view(
+                candidate.name
+            ):
+                continue
+            rewritten = try_rewrite(bound, candidate)
+            if rewritten is not None:
+                return rewritten
+        return bound
+
+    def _register_applied_mv(self, candidate: MVCandidate) -> None:
+        self._applied_mvs[candidate.name] = candidate
+
+    def _unregister_applied_mv(self, candidate: MVCandidate) -> None:
+        self._applied_mvs.pop(candidate.name, None)
 
     def invalidate_plan_cache(self) -> None:
         """Explicitly flush cached plans, skeletons, and template
@@ -368,21 +419,34 @@ class CostIntelligentWarehouse:
 
     @property
     def billed_dollars(self) -> float:
-        """Total dollars billed across all tenants."""
+        """Total serving dollars billed across all tenants."""
         return sum(bill.dollars for bill in self.billing.values())
+
+    @property
+    def background_dollars(self) -> float:
+        """Total background-tuning dollars metered across all tenants."""
+        return sum(bill.background_dollars for bill in self.billing.values())
 
     def describe_billing(self) -> str:
         """Per-tenant spend roll-up, one line per tenant plus the total."""
         if not self.billing:
             return "billing: no queries served"
-        lines = [
-            f"  {bill.tenant}: {bill.queries} queries, ${bill.dollars:.4f}, "
-            f"{bill.machine_seconds:.1f} machine-seconds"
-            for bill in sorted(self.billing.values(), key=lambda b: b.tenant)
-        ]
-        return "billing by tenant:\n" + "\n".join(lines) + (
-            f"\n  total: ${self.billed_dollars:.4f}"
-        )
+        lines = []
+        for bill in sorted(self.billing.values(), key=lambda b: b.tenant):
+            line = (
+                f"  {bill.tenant}: {bill.queries} queries, ${bill.dollars:.4f}, "
+                f"{bill.machine_seconds:.1f} machine-seconds"
+            )
+            if bill.background_actions:
+                line += (
+                    f", ${bill.background_dollars:.4f} background "
+                    f"({bill.background_actions} tuning actions)"
+                )
+            lines.append(line)
+        total = f"\n  total: ${self.billed_dollars:.4f}"
+        if self.background_dollars:
+            total += f" serving + ${self.background_dollars:.4f} background"
+        return "billing by tenant:\n" + "\n".join(lines) + total
 
     def reset_cache_stats(self) -> None:
         """Zero all cache and optimizer counters without dropping
@@ -564,6 +628,31 @@ class CostIntelligentWarehouse:
     # ------------------------------------------------------------------ #
     # Background auto-tuning
     # ------------------------------------------------------------------ #
+    @property
+    def tuning(self) -> TuningService:
+        """The warehouse's persistent tuning service (lazily created).
+
+        Holds one What-If Service / advisor / background-compute
+        executor for the warehouse's lifetime and exposes the typed
+        ``propose() / apply() / apply_all() / rollback()`` lifecycle —
+        see :mod:`repro.tuning.service`.
+        """
+        if self._tuning is None:
+            self._tuning = TuningService(self, self.tuning_policy)
+        return self._tuning
+
+    def _maybe_autotune(self) -> None:
+        """Serving-layer hook: run a tuning cycle when the policy is due.
+
+        Called between batches by :class:`~repro.core.service.Session` /
+        :class:`~repro.core.service.ServingScheduler`; a no-op unless a
+        recurring :class:`~repro.tuning.service.TuningPolicy` is set.
+        """
+        policy = self._tuning.policy if self._tuning is not None else self.tuning_policy
+        if policy is None or not policy.recurring:
+            return
+        self.tuning.maybe_run_cycle()
+
     def run_tuning_cycle(
         self,
         *,
@@ -572,38 +661,21 @@ class CostIntelligentWarehouse:
     ) -> AdvisorProposals:
         """One advisor pass over the logged workload.
 
+        .. deprecated::
+            Thin shim over :attr:`tuning` for pre-redesign callers.
+            Prefer the typed lifecycle — ``warehouse.tuning.propose()``
+            returns :class:`~repro.tuning.service.Recommendation`\\ s
+            that can be applied *and rolled back* individually, with
+            background spend metered per tenant.
+
         With ``apply=True``, accepted actions run on background compute
         (physically when the warehouse holds data).
         """
-        whatif = WhatIfService(self.catalog, self.estimator)
-        kwargs = {}
-        if storage_budget_bytes is not None:
-            kwargs["storage_budget_bytes"] = storage_budget_bytes
-        advisor = AutoTuningAdvisor(self.catalog, whatif, **kwargs)
-        # Only current-version bindings: the advisor must never reason
-        # over queries bound against statistics that no longer hold.
-        template_queries = self.template_queries
-        proposals = advisor.propose(self.logs, template_queries)
-        if apply and proposals.accepted:
-            background = BackgroundComputeService(
-                database=self.database, catalog=self.catalog
-            )
-            from repro.tuning.clustering import ReclusterCandidate
-            from repro.tuning.mv import mv_candidate_from_query
-
-            for report in proposals.accepted:
-                if report.kind == "materialized-view":
-                    template = report.action_name.removeprefix("mv_")
-                    query = template_queries.get(template)
-                    if query is None:
-                        continue
-                    candidate = mv_candidate_from_query(
-                        query, self.catalog, name=report.action_name
-                    )
-                    background.apply_mv(candidate, report)
-                elif report.kind == "recluster":
-                    parts = report.action_name.removeprefix("recluster_").split("_on_")
-                    background.apply_recluster(
-                        ReclusterCandidate(table=parts[0], key=parts[1]), report
-                    )
-        return proposals
+        service = self.tuning
+        recommendations = service.propose(
+            storage_budget_bytes=storage_budget_bytes
+        )
+        if apply:
+            service.apply_all(recommendations)
+        assert service.last_proposals is not None
+        return service.last_proposals

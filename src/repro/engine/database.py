@@ -74,6 +74,16 @@ class Database:
         self.store.put(f"tables/{schema.name}", stored.stored_bytes())
         return entry
 
+    def drop_table(self, name: str) -> None:
+        """Remove a table's data, catalog entry, and object-store key
+        (used by the tuning layer to roll back a materialized view)."""
+        if name not in self._tables:
+            raise CatalogError(f"unknown table {name!r}")
+        del self._tables[name]
+        self.catalog.drop_table(name)
+        if self.store.exists(f"tables/{name}"):
+            self.store.delete(f"tables/{name}")
+
     def replace_table_storage(self, name: str, stored: StoredTable) -> None:
         """Swap a table's physical layout (used by the recluster action)."""
         if name not in self._tables:

@@ -108,5 +108,16 @@ class TuningError(ReproError):
     """Auto-tuning / what-if service failure."""
 
 
+class TuningStateError(TuningError):
+    """Invalid :class:`~repro.tuning.service.Recommendation` lifecycle
+    transition (e.g. applying a rejected recommendation, or rolling back
+    one that was never applied).  Carries the states so callers can show
+    the user what the recommendation would have needed to be in."""
+
+    def __init__(self, message: str, *, state: str | None = None) -> None:
+        super().__init__(message)
+        self.state = state
+
+
 class WorkloadError(ReproError):
     """Workload generation failure (bad scale factor, unknown template...)."""

@@ -9,7 +9,7 @@ from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass, field
-from typing import Iterator
+from typing import Iterable, Iterator
 
 from repro.errors import ReproError
 
@@ -76,6 +76,17 @@ class QueryLogStore:
             grouped.setdefault(record.template, []).append(record)
         return grouped
 
+    def tenant_counts(
+        self, templates: Iterable[str] | None = None
+    ) -> dict[str, int]:
+        """Logged-query counts per tenant, optionally restricted to the
+        given template families.
+
+        The tuning layer uses this to attribute background-compute spend
+        to the tenants whose traffic motivated an action.
+        """
+        return _tenant_counts(self, templates)
+
     @property
     def total_dollars(self) -> float:
         return sum(r.dollars for r in self._records)
@@ -122,6 +133,12 @@ class TenantLogView:
             grouped.setdefault(record.template, []).append(record)
         return grouped
 
+    def tenant_counts(
+        self, templates: Iterable[str] | None = None
+    ) -> dict[str, int]:
+        """Per-tenant counts over this view (at most one key: the tenant)."""
+        return _tenant_counts(self, templates)
+
     @property
     def total_dollars(self) -> float:
         return sum(r.dollars for r in self)
@@ -133,3 +150,15 @@ class TenantLogView:
         if not timestamps:
             return (0.0, 0.0)
         return (timestamps[0], timestamps[-1])
+
+
+def _tenant_counts(
+    records: Iterable[QueryRecord], templates: Iterable[str] | None
+) -> dict[str, int]:
+    wanted = set(templates) if templates is not None else None
+    counts: dict[str, int] = {}
+    for record in records:
+        if wanted is not None and record.template not in wanted:
+            continue
+        counts[record.tenant] = counts.get(record.tenant, 0) + 1
+    return counts

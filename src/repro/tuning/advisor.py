@@ -65,11 +65,15 @@ class AutoTuningAdvisor:
         self,
         store: QueryLogStore,
         bound_queries: dict[str, BoundQuery],
+        *,
+        storage_budget_bytes: float | None = None,
     ) -> AdvisorProposals:
         """One tuning cycle over the logged workload.
 
         ``bound_queries`` maps template name -> a representative bound
         query of that family (the warehouse facade maintains these).
+        ``storage_budget_bytes`` overrides the advisor's configured
+        budget for this cycle only.
         """
         records = list(store)
         if not records:
@@ -98,7 +102,12 @@ class AutoTuningAdvisor:
                 continue
 
         proposals.reports.sort(key=lambda r: r.net_per_hour, reverse=True)
-        proposals.accepted = self._select(proposals.reports)
+        proposals.accepted = self._select(
+            proposals.reports,
+            storage_budget_bytes
+            if storage_budget_bytes is not None
+            else self.storage_budget_bytes,
+        )
         return proposals
 
     # ------------------------------------------------------------------ #
@@ -126,6 +135,8 @@ class AutoTuningAdvisor:
             if shape in seen_shapes:
                 continue
             seen_shapes.add(shape)
+            if self.catalog.has_view(f"mv_{template}"):
+                continue  # already materialized (applied in a prior cycle)
             try:
                 candidates.append(
                     mv_candidate_from_query(
@@ -167,11 +178,16 @@ class AutoTuningAdvisor:
         return None
 
     # ------------------------------------------------------------------ #
-    def _select(self, reports: list[TuningReport]) -> list[TuningReport]:
+    def _select(
+        self, reports: list[TuningReport], storage_budget_bytes: float
+    ) -> list[TuningReport]:
         """Greedy accept profitable reports under the storage budget.
 
         At most one recluster per table per cycle — a second accepted
-        layout would silently undo the first.
+        layout would silently undo the first.  The table comes from the
+        typed candidate carried on the report; the old
+        ``action_name.split("_on_")`` parsing broke for identifiers that
+        themselves contain ``_on_``.
         """
         accepted: list[TuningReport] = []
         used_bytes = 0.0
@@ -179,10 +195,10 @@ class AutoTuningAdvisor:
         for report in reports:
             if not report.profitable:
                 continue
-            if used_bytes + report.storage_bytes > self.storage_budget_bytes:
+            if used_bytes + report.storage_bytes > storage_budget_bytes:
                 continue
-            if report.kind == "recluster":
-                table = report.action_name.removeprefix("recluster_").split("_on_")[0]
+            if isinstance(report.candidate, ReclusterCandidate):
+                table = report.candidate.table
                 if table in reclustered_tables:
                     continue
                 reclustered_tables.add(table)

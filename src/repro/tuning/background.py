@@ -5,11 +5,20 @@ to the background compute for execution."  Separate compute keeps tuning
 work from contending with foreground queries (the §4 argument for why
 auto-tuning is more solvable in the cloud); its spend is metered in a
 ledger so experiments can report foreground vs background dollars.
+
+Every ``apply_*`` method returns an :class:`UndoAction` — a typed token
+that captures, *before* mutating anything, exactly how to physically
+reverse the action (and what that reversal will cost).  The
+:class:`~repro.tuning.service.TuningService` holds these tokens on
+applied :class:`~repro.tuning.service.Recommendation`\\ s so tuning
+actions stay revisitable as the workload drifts instead of being
+fire-and-forget.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Callable
 
 from repro.catalog.catalog import Catalog
 from repro.engine.database import Database
@@ -32,6 +41,24 @@ class LedgerEntry:
     applied_physically: bool
 
 
+@dataclass(frozen=True)
+class UndoAction:
+    """How to physically reverse one applied tuning action.
+
+    Captured at apply time (prior catalog entry, prior stored table) so a
+    later rollback restores bit-identical state regardless of what else
+    happened in between.  ``dollars`` is what executing the rollback will
+    cost: re-sorting a table back is another full rewrite, dropping a
+    materialized view is a metadata-only operation.
+    """
+
+    action_name: str
+    kind: str
+    dollars: float
+    physical: bool
+    run: Callable[[], None]
+
+
 @dataclass
 class BackgroundComputeService:
     """Executes accepted tuning actions against the database/catalog."""
@@ -51,19 +78,20 @@ class BackgroundComputeService:
         return sum(e.dollars for e in self.ledger)
 
     # ------------------------------------------------------------------ #
-    def apply_mv(self, candidate: MVCandidate, report: TuningReport) -> None:
+    def apply_mv(self, candidate: MVCandidate, report: TuningReport) -> UndoAction:
         """Materialize an accepted MV (physically when data is present)."""
         assert self.catalog is not None
-        physical = False
-        if self.database is not None and all(
-            t in self.database.table_names for t in candidate.base_tables
-        ):
+        catalog = self.catalog
+        database = self.database
+        physical = database is not None and all(
+            t in database.table_names for t in candidate.base_tables
+        )
+        if physical:
             self._materialize_mv(candidate)
-            physical = True
         else:
             from repro.tuning.mv import register_hypothetical_mv
 
-            register_hypothetical_mv(self.catalog, candidate, self.catalog)
+            register_hypothetical_mv(catalog, candidate, catalog)
         self.ledger.append(
             LedgerEntry(
                 action_name=candidate.name,
@@ -71,6 +99,22 @@ class BackgroundComputeService:
                 dollars=report.one_time_dollars,
                 applied_physically=physical,
             )
+        )
+
+        def undo() -> None:
+            if physical:
+                assert database is not None
+                database.drop_table(candidate.name)
+            else:
+                catalog.drop_table(candidate.name)
+            catalog.drop_view(candidate.name)
+
+        return UndoAction(
+            action_name=candidate.name,
+            kind="materialized-view",
+            dollars=0.0,  # dropping a view is metadata-only
+            physical=physical,
+            run=undo,
         )
 
     def _materialize_mv(self, candidate: MVCandidate) -> None:
@@ -95,21 +139,26 @@ class BackgroundComputeService:
     # ------------------------------------------------------------------ #
     def apply_recluster(
         self, candidate: ReclusterCandidate, report: TuningReport
-    ) -> None:
+    ) -> UndoAction:
         """Physically re-sort the table (or update the overlay stats)."""
         assert self.catalog is not None
-        physical = False
-        if self.database is not None and candidate.table in self.database.table_names:
-            stored = self.database.stored_table(candidate.table)
-            self.database.replace_table_storage(
-                candidate.table, stored.recluster(candidate.key)
+        catalog = self.catalog
+        database = self.database
+        # Snapshot prior state *before* mutating so the undo restores the
+        # exact catalog entry (schema, stats, clustering depth) verbatim.
+        prior_entry = catalog.table(candidate.table)
+        physical = database is not None and candidate.table in database.table_names
+        prior_stored = database.stored_table(candidate.table) if physical else None
+        if physical:
+            assert database is not None
+            database.replace_table_storage(
+                candidate.table, database.stored_table(candidate.table).recluster(candidate.key)
             )
-            physical = True
         else:
-            self.catalog.set_clustering(
+            catalog.set_clustering(
                 candidate.table,
                 candidate.key,
-                improved_depth(self.catalog, candidate.table),
+                improved_depth(catalog, candidate.table),
             )
         self.ledger.append(
             LedgerEntry(
@@ -117,5 +166,32 @@ class BackgroundComputeService:
                 kind="recluster",
                 dollars=report.one_time_dollars,
                 applied_physically=physical,
+            )
+        )
+
+        def undo() -> None:
+            if physical:
+                assert database is not None and prior_stored is not None
+                database.replace_table_storage(candidate.table, prior_stored)
+            catalog.register_table(prior_entry, replace_existing=True)
+
+        return UndoAction(
+            action_name=candidate.name,
+            kind="recluster",
+            dollars=report.one_time_dollars,  # sorting back is another rewrite
+            physical=physical,
+            run=undo,
+        )
+
+    # ------------------------------------------------------------------ #
+    def rollback(self, undo: UndoAction) -> None:
+        """Execute an undo token and meter the reversal in the ledger."""
+        undo.run()
+        self.ledger.append(
+            LedgerEntry(
+                action_name=undo.action_name,
+                kind=f"rollback-{undo.kind}",
+                dollars=undo.dollars,
+                applied_physically=undo.physical,
             )
         )

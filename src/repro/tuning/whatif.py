@@ -51,7 +51,15 @@ class TemplateImpact:
 
 @dataclass
 class TuningReport:
-    """The customer-facing dollar report for one tuning proposal."""
+    """The customer-facing dollar report for one tuning proposal.
+
+    ``candidate`` carries the evaluated candidate object itself
+    (:class:`~repro.tuning.mv.MVCandidate` or
+    :class:`~repro.tuning.clustering.ReclusterCandidate`) so downstream
+    consumers — the advisor's selection, the
+    :class:`~repro.tuning.service.TuningService` apply path — never have
+    to round-trip through ``action_name`` string parsing.
+    """
 
     action_name: str
     kind: str  # "materialized-view" | "recluster"
@@ -61,6 +69,7 @@ class TuningReport:
     impacts: list[TemplateImpact] = field(default_factory=list)
     storage_bytes: float = 0.0
     notes: str = ""
+    candidate: "MVCandidate | ReclusterCandidate | None" = None
 
     @property
     def net_per_hour(self) -> float:
@@ -196,6 +205,7 @@ class WhatIfService:
                 f"maintenance modeled as {self.churn_fraction_per_hour:.2%} of "
                 "build cost per hour (incremental refresh on base-table churn)"
             ),
+            candidate=candidate,
         )
 
     def _mv_build_dollars(self, candidate: MVCandidate) -> float:
@@ -251,4 +261,5 @@ class WhatIfService:
             one_time_dollars=one_time,
             impacts=impacts,
             notes="savings come from zone-map pruning on the new clustering key",
+            candidate=candidate,
         )

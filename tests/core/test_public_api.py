@@ -12,10 +12,18 @@ import pytest
 import repro
 from repro import (
     CostIntelligentWarehouse,
+    MaterializeView,
     QueryHandle,
     QueryRequest,
     QueryState,
+    Recluster,
+    Recommendation,
+    RecommendationState,
+    ResizeWarehouse,
     Session,
+    TuningAction,
+    TuningPolicy,
+    TuningService,
 )
 from repro.dop.constraints import sla_constraint
 
@@ -39,6 +47,15 @@ EXPECTED_ALL = [
     "DistributedSimulator",
     "SimConfig",
     "Binder",
+    "TuningAction",
+    "MaterializeView",
+    "Recluster",
+    "ResizeWarehouse",
+    "Recommendation",
+    "RecommendationState",
+    "TuningPolicy",
+    "TuningReport",
+    "TuningService",
     "load_tpch",
     "synthetic_tpch_catalog",
     "__version__",
@@ -142,3 +159,89 @@ def test_submit_shim_emits_no_warnings(stats_warehouse):
             ["SELECT count(*) AS c FROM orders"], constraint=sla_constraint(15.0)
         )
     assert outcome.constraint_met is not None
+
+
+# --------------------------------------------------------------------- #
+# Tuning surface (PR 4)
+# --------------------------------------------------------------------- #
+def test_tuning_service_signatures():
+    propose = inspect.signature(TuningService.propose)
+    assert list(propose.parameters) == ["self", "storage_budget_bytes"]
+    assert list(inspect.signature(TuningService.apply).parameters) == [
+        "self",
+        "rec",
+    ]
+    assert list(inspect.signature(TuningService.apply_all).parameters) == [
+        "self",
+        "recommendations",
+    ]
+    assert list(inspect.signature(TuningService.rollback).parameters) == [
+        "self",
+        "rec",
+    ]
+    assert list(
+        inspect.signature(TuningService.maybe_run_cycle).parameters
+    ) == ["self"]
+
+
+def test_tuning_policy_field_snapshot():
+    assert [f.name for f in TuningPolicy.__dataclass_fields__.values()] == [
+        "cadence_queries",
+        "cadence_seconds",
+        "tenant",
+        "storage_budget_bytes",
+        "min_forecast_observations",
+        "auto_apply",
+        "auto_apply_net_threshold",
+        "auto_apply_break_even_hours",
+    ]
+
+
+def test_recommendation_lifecycle_surface():
+    assert {state.name for state in RecommendationState} == {
+        "PROPOSED",
+        "ACCEPTED",
+        "APPLYING",
+        "APPLIED",
+        "REJECTED",
+        "ROLLED_BACK",
+        "FAILED",
+    }
+    members = {"describe", "applied", "accepted"}
+    assert members <= {
+        name for name in dir(Recommendation) if not name.startswith("_")
+    }
+
+
+def test_tuning_actions_are_frozen_and_typed():
+    import dataclasses
+
+    for action_cls in (MaterializeView, Recluster, ResizeWarehouse):
+        assert issubclass(action_cls, TuningAction)
+        assert dataclasses.is_dataclass(action_cls)
+        assert action_cls.__dataclass_params__.frozen
+    assert MaterializeView.kind == "materialized-view"
+    assert Recluster.kind == "recluster"
+    assert ResizeWarehouse(target_nodes=8).name == "resize_warehouse_to_8"
+
+
+def test_run_tuning_cycle_shim_signature_and_silence(stats_warehouse):
+    """The legacy tuning entry point keeps its keyword surface and stays
+    silent (shim, not a deprecation trap)."""
+    signature = inspect.signature(CostIntelligentWarehouse.run_tuning_cycle)
+    assert list(signature.parameters) == [
+        "self",
+        "apply",
+        "storage_budget_bytes",
+    ]
+    for i in range(3):
+        stats_warehouse.submit(
+            "SELECT count(*) AS c FROM orders WHERE o_totalprice > 100",
+            sla_constraint(15.0),
+            template="counts",
+            at_time=float(i * 60),
+        )
+    with warnings.catch_warnings():
+        warnings.simplefilter("error")
+        proposals = stats_warehouse.run_tuning_cycle(apply=False)
+    assert proposals is stats_warehouse.tuning.last_proposals

@@ -175,3 +175,81 @@ def test_tiering_cheaper_with_more_cold(store):
     hot = model.storage_dollars_per_hour(summary, hot_fraction=1.0)
     cold = model.storage_dollars_per_hour(summary, hot_fraction=0.0)
     assert cold < hot
+
+
+# ---------------- forecasting edge cases (gate auto-apply) ------------ #
+# TuningPolicy auto-apply is fed by these forecasts, so degenerate
+# arrival patterns must produce sane (never-crashing, never-periodic)
+# rates rather than garbage break-even horizons.
+def test_forecast_single_arrival_template():
+    store = QueryLogStore()
+    store.append(record(1, 1200.0, template="once"))
+    forecast = WorkloadForecaster().forecast(store)["once"]
+    assert not forecast.periodic
+    assert forecast.period_s is None
+    assert forecast.observed_count == 1
+    # One arrival in one (zero-span -> bin-sized) window: 6/hour at the
+    # default 600 s bin.
+    assert forecast.rate_per_hour == pytest.approx(6.0)
+
+
+def test_forecast_duplicate_timestamps_not_periodic():
+    store = QueryLogStore()
+    for i in range(5):
+        store.append(record(i, 500.0, template="burst"))
+    forecast = WorkloadForecaster().forecast(store)["burst"]
+    # All gaps are zero and get filtered; no periodicity claimed.
+    assert not forecast.periodic
+    assert forecast.period_s is None
+
+
+def test_forecast_two_arrivals_below_min_observations():
+    store = QueryLogStore()
+    store.append(record(1, 0.0, template="pair"))
+    store.append(record(2, 3600.0, template="pair"))
+    periodic, period = WorkloadForecaster()._detect_period(
+        __import__("numpy").array([0.0, 3600.0]), 0.0, 3600.0
+    )
+    assert (periodic, period) == (False, None)
+    forecast = WorkloadForecaster().forecast(store)["pair"]
+    assert not forecast.periodic
+
+
+def test_detect_period_irregular_gaps_rejected():
+    import numpy as np
+
+    # Gap coefficient-of-variation far above the 0.25 threshold.
+    times = np.array([0.0, 100.0, 2000.0, 2100.0, 9000.0, 9050.0])
+    periodic, period = WorkloadForecaster()._detect_period(
+        times, 0.0, 9050.0
+    )
+    assert not periodic and period is None
+
+
+def test_detect_period_tolerates_small_jitter():
+    import numpy as np
+
+    rng = np.random.default_rng(7)
+    times = np.cumsum(np.full(24, 3600.0) + rng.normal(0.0, 30.0, size=24))
+    periodic, period = WorkloadForecaster()._detect_period(
+        times, float(times[0]), float(times[-1] - times[0])
+    )
+    assert periodic
+    assert period == pytest.approx(3600.0, rel=0.05)
+
+
+def test_forecast_template_rejects_empty_records():
+    with pytest.raises(ReproError):
+        WorkloadForecaster().forecast_template("ghost", [], (0.0, 100.0))
+
+
+def test_tenant_counts_by_template():
+    store = QueryLogStore()
+    for i in range(4):
+        store.append(record(i, float(i * 60), template="hot"))
+    assert store.tenant_counts() == {"default": 4}
+    assert store.tenant_counts(templates={"hot"}) == {"default": 4}
+    assert store.tenant_counts(templates={"cold"}) == {}
+    view = store.for_tenant("default")
+    assert view.tenant_counts({"hot"}) == {"default": 4}
+    assert store.for_tenant("ghost").tenant_counts() == {}
