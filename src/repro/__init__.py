@@ -16,6 +16,17 @@ per-stage timings; ``result()`` yields the :class:`QueryOutcome` (plan,
 latency, auditable dollars).  Batches plan concurrently via the
 :class:`ServingScheduler`, bit-identical to sequential submission.
 
+Resource governance makes both of the serving stack's resource
+decisions cost-driven: plan-cache retention is a pluggable
+:class:`RetentionPolicy` (default :class:`LruPolicy`; the
+:class:`CostAwarePolicy` keeps templates alive by forecast frequency x
+re-optimization cost saved, and ``warehouse.warm_cache`` pre-plans the
+hottest forecast templates), and per-tenant :class:`TenantBudget` dollar
+ceilings are enforced by an :class:`AdmissionController` whose verdicts
+escalate admit -> throttle -> defer -> deny (a denial is a typed
+:class:`AdmissionDeniedError` and a ``DENIED`` handle state, never a
+failure of other tenants' work).
+
 Auto-tuning mirrors that model: ``warehouse.tuning`` is a persistent
 :class:`TuningService` whose ``propose()`` returns typed
 :class:`Recommendation`\\ s (``PROPOSED -> ACCEPTED -> APPLYING ->
@@ -44,15 +55,22 @@ Quickstart::
 
 from repro.catalog import Catalog
 from repro.core import (
+    AdmissionController,
+    AdmissionVerdict,
     BiObjectiveOptimizer,
+    CostAwarePolicy,
     CostIntelligentWarehouse,
+    LruPolicy,
     QueryHandle,
     QueryOutcome,
     QueryRequest,
     QueryState,
+    RetentionPolicy,
     ServingScheduler,
     Session,
+    TenantBudget,
 )
+from repro.errors import AdmissionDeniedError
 from repro.cost import CostEstimator, HardwareCalibration
 from repro.dop import DopPlanner, budget_constraint, sla_constraint
 from repro.engine import Database, LocalExecutor
@@ -84,6 +102,13 @@ __all__ = [
     "QueryState",
     "ServingScheduler",
     "Session",
+    "AdmissionController",
+    "AdmissionVerdict",
+    "AdmissionDeniedError",
+    "TenantBudget",
+    "RetentionPolicy",
+    "LruPolicy",
+    "CostAwarePolicy",
     "CostEstimator",
     "HardwareCalibration",
     "DopPlanner",

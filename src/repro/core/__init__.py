@@ -11,12 +11,39 @@ auto-tuning.
 The serving surface is the request/lifecycle API in
 :mod:`repro.core.service`: a frozen :class:`QueryRequest` goes in, a
 :class:`QueryHandle` tracks ``QUEUED -> BOUND -> PLANNED -> SIMULATED ->
-DONE/FAILED``, per-tenant :class:`Session`\\ s carry defaults and
-isolated log/billing views, and the :class:`ServingScheduler` plans
-batches concurrently over the lock-striped plan caches.
+DONE/FAILED`` (or ``DENIED``, when admission control refuses the
+tenant), per-tenant :class:`Session`\\ s carry defaults and isolated
+log/billing views, and the :class:`ServingScheduler` plans batches
+concurrently over the lock-striped plan caches.
+
+Resource decisions live in :mod:`repro.core.governance`, not in the
+caches or sessions they govern.  Cache *retention* is a pluggable
+:class:`RetentionPolicy` threaded through all three plan-cache levels:
+:class:`LruPolicy` (default) evicts by recency, bit-identical to the
+pre-governance warehouse; :class:`CostAwarePolicy` scores entries by the
+Statistics Service's forecast template frequency times the measured
+re-optimization seconds an entry saves, so hot recurring reports survive
+eviction pressure (``warehouse.warm_cache`` pre-plans the hottest
+forecast templates the same way).  Tenant *admission* is an
+:class:`AdmissionController` consulted at ``Session._admit`` time: per
+:class:`TenantBudget` dollar ceilings over the tenant's full
+:class:`TenantBill` (serving + background tuning) escalate ``ADMIT ->
+THROTTLE -> DEFER -> DENY``, with denials surfaced as typed
+:class:`~repro.errors.AdmissionDeniedError`\\ s on the handle — one
+tenant running dry never fails another tenant's in-flight batch.
 """
 
 from repro.core.bioptimizer import BiObjectiveOptimizer, PlanChoice
+from repro.core.governance import (
+    AdmissionController,
+    AdmissionVerdict,
+    CostAwarePolicy,
+    LruPolicy,
+    RetentionPolicy,
+    TemplateFrequencyProvider,
+    TenantBudget,
+    make_retention_policy,
+)
 from repro.core.service import (
     QueryHandle,
     QueryOutcome,
@@ -32,6 +59,14 @@ __all__ = [
     "BiObjectiveOptimizer",
     "PlanChoice",
     "CostIntelligentWarehouse",
+    "AdmissionController",
+    "AdmissionVerdict",
+    "CostAwarePolicy",
+    "LruPolicy",
+    "RetentionPolicy",
+    "TemplateFrequencyProvider",
+    "TenantBudget",
+    "make_retention_policy",
     "QueryHandle",
     "QueryOutcome",
     "QueryRequest",

@@ -30,6 +30,20 @@ stop matching and age out of the LRU.  ``invalidate()`` exists for
 explicit flushes (e.g. hardware recalibration, which changes cost
 without touching the catalog).
 
+Retention
+---------
+
+*Which* entry leaves a full stripe is delegated to a pluggable
+:class:`~repro.core.governance.RetentionPolicy`.  The default
+:class:`~repro.core.governance.LruPolicy` evicts the stripe's
+least-recently-used entry — bit-identical (plans, hit/miss/eviction
+counters) to the pre-governance hardcoded behavior.  A
+:class:`~repro.core.governance.CostAwarePolicy` instead scores entries
+by forecast template frequency times re-optimization cost saved, so hot
+recurring templates survive eviction pressure that plain recency would
+age them out of; the warehouse attaches the scoring metadata via
+``cache.policy.record(...)`` when it stores an entry.
+
 Thread safety
 -------------
 
@@ -37,11 +51,12 @@ The :class:`~repro.core.service.ServingScheduler` plans concurrently, so
 every cache is a *lock-striped* LRU: keys hash onto one of N stripes,
 each a lock-guarded OrderedDict with ``capacity / N`` slots.  Planning
 threads touching different templates never contend on the same lock, and
-the per-stripe LRU is exact within its stripe (global recency is
+the per-stripe recency is exact within its stripe (global recency is
 approximate under striping, which only matters under eviction pressure).
 Small capacities collapse to a single stripe, so the sequential eviction
 semantics the unit tests pin down are unchanged below
-``_MIN_STRIPE_CAPACITY`` entries per stripe.
+``_MIN_STRIPE_CAPACITY`` entries per stripe.  Victim selection runs
+under the stripe lock; policies guard their own shared metadata.
 """
 
 from __future__ import annotations
@@ -50,6 +65,7 @@ import threading
 from collections import OrderedDict
 from typing import TYPE_CHECKING, Hashable
 
+from repro.core.governance import LruPolicy, RetentionPolicy
 from repro.sql.parameterize import normalize_sql  # noqa: F401  (re-export)
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -83,7 +99,14 @@ class _Stripe:
 class _LruStats:
     """Shared lock-striped LRU bookkeeping with hit/miss counters."""
 
-    def __init__(self, capacity: int, name: str, *, stripes: int | None = None) -> None:
+    def __init__(
+        self,
+        capacity: int,
+        name: str,
+        *,
+        stripes: int | None = None,
+        policy: RetentionPolicy | None = None,
+    ) -> None:
         if capacity < 1:
             raise ValueError(f"{name} capacity must be >= 1, got {capacity}")
         if stripes is None:
@@ -93,6 +116,9 @@ class _LruStats:
         stripes = min(stripes, capacity)
         self.capacity = capacity
         self.name = name
+        #: Who decides evictions; one policy instance per cache (its
+        #: metadata is keyed by this cache's keys).
+        self.policy = policy or LruPolicy()
         base, extra = divmod(capacity, stripes)
         self._stripes = tuple(
             _Stripe(base + (1 if index < extra else 0)) for index in range(stripes)
@@ -116,20 +142,37 @@ class _LruStats:
             stripe.hits += 1
             return found
 
-    def _put(self, key: Hashable, value: object) -> None:
+    def _put(
+        self,
+        key: Hashable,
+        value: object,
+        *,
+        template: Hashable | None = None,
+        cost_s: float = 0.0,
+    ) -> None:
         stripe = self._stripe(key)
         with stripe.lock:
             stripe.entries[key] = value
             stripe.entries.move_to_end(key)
+            if template is not None:
+                # Metadata must land before victim selection: the entry
+                # being stored competes in its own store's eviction, and
+                # an unscored newcomer would evict itself against any
+                # scored resident (and leak its metadata, recorded after
+                # the fact for a key no longer present).
+                self.policy.record(key, template=template, cost_s=cost_s)
             while len(stripe.entries) > stripe.capacity:
-                stripe.entries.popitem(last=False)
+                victim = self.policy.victim(stripe.entries)
+                del stripe.entries[victim]
                 stripe.evictions += 1
+                self.policy.on_evict(victim)
 
     def invalidate(self) -> None:
-        """Drop every cached entry."""
+        """Drop every cached entry (and the policy's per-key metadata)."""
         for stripe in self._stripes:
             with stripe.lock:
                 stripe.entries.clear()
+        self.policy.clear()
 
     def reset_stats(self) -> None:
         """Zero the hit/miss/eviction counters (benchmark warmup)."""
@@ -138,6 +181,7 @@ class _LruStats:
                 stripe.hits = 0
                 stripe.misses = 0
                 stripe.evictions = 0
+        self.policy.reset_stats()
 
     def __len__(self) -> int:
         return sum(len(stripe.entries) for stripe in self._stripes)
@@ -162,7 +206,7 @@ class _LruStats:
     def describe(self) -> str:
         return (
             f"{self.name}: {len(self)}/{self.capacity} entries "
-            f"({self.stripe_count} stripe(s)), "
+            f"({self.stripe_count} stripe(s), {self.policy.name} retention), "
             f"{self.hits} hits / {self.misses} misses "
             f"({self.hit_rate:.0%}), {self.evictions} evictions"
         )
@@ -176,14 +220,24 @@ class PlanCache(_LruStats):
     is part of the work the cache amortizes.
     """
 
-    def __init__(self, capacity: int = 256) -> None:
-        super().__init__(capacity, "plan cache")
+    def __init__(
+        self, capacity: int = 256, *, policy: RetentionPolicy | None = None
+    ) -> None:
+        super().__init__(capacity, "plan cache", policy=policy)
 
     def lookup(self, key: Hashable) -> tuple["BoundQuery", "PlanChoice"] | None:
         return self._get(key)  # type: ignore[return-value]
 
-    def store(self, key: Hashable, bound: "BoundQuery", choice: "PlanChoice") -> None:
-        self._put(key, (bound, choice))
+    def store(
+        self,
+        key: Hashable,
+        bound: "BoundQuery",
+        choice: "PlanChoice",
+        *,
+        template: Hashable | None = None,
+        cost_s: float = 0.0,
+    ) -> None:
+        self._put(key, (bound, choice), template=template, cost_s=cost_s)
 
 
 class BindingCache(_LruStats):
@@ -196,14 +250,23 @@ class BindingCache(_LruStats):
     transitively shares physical planning and pipeline timings too.
     """
 
-    def __init__(self, capacity: int = 256) -> None:
-        super().__init__(capacity, "binding cache")
+    def __init__(
+        self, capacity: int = 256, *, policy: RetentionPolicy | None = None
+    ) -> None:
+        super().__init__(capacity, "binding cache", policy=policy)
 
     def lookup(self, key: Hashable) -> "BoundQuery | None":
         return self._get(key)  # type: ignore[return-value]
 
-    def store(self, key: Hashable, bound: "BoundQuery") -> None:
-        self._put(key, bound)
+    def store(
+        self,
+        key: Hashable,
+        bound: "BoundQuery",
+        *,
+        template: Hashable | None = None,
+        cost_s: float = 0.0,
+    ) -> None:
+        self._put(key, bound, template=template, cost_s=cost_s)
 
 
 class SkeletonCache(_LruStats):
@@ -215,11 +278,20 @@ class SkeletonCache(_LruStats):
     one entry serves every instantiation of the template.
     """
 
-    def __init__(self, capacity: int = 256) -> None:
-        super().__init__(capacity, "skeleton cache")
+    def __init__(
+        self, capacity: int = 256, *, policy: RetentionPolicy | None = None
+    ) -> None:
+        super().__init__(capacity, "skeleton cache", policy=policy)
 
     def lookup(self, key: Hashable) -> tuple["JoinTree | Leaf", ...] | None:
         return self._get(key)  # type: ignore[return-value]
 
-    def store(self, key: Hashable, trees: tuple["JoinTree | Leaf", ...]) -> None:
-        self._put(key, tuple(trees))
+    def store(
+        self,
+        key: Hashable,
+        trees: tuple["JoinTree | Leaf", ...],
+        *,
+        template: Hashable | None = None,
+        cost_s: float = 0.0,
+    ) -> None:
+        self._put(key, tuple(trees), template=template, cost_s=cost_s)

@@ -39,6 +39,7 @@ from dataclasses import dataclass, replace
 from enum import Enum
 from typing import TYPE_CHECKING, Iterable, Mapping
 
+from repro.core.governance import AdmissionVerdict
 from repro.dop.constraints import Constraint
 from repro.engine.local_executor import LocalExecutor
 from repro.errors import QueryFailedError, ReproError
@@ -89,10 +90,15 @@ class QueryState(Enum):
     SIMULATED = "simulated"
     DONE = "done"
     FAILED = "failed"
+    #: Terminal: admission control refused the query (tenant budget
+    #: exhausted) before any serving work ran.  The handle carries an
+    #: :class:`~repro.errors.AdmissionDeniedError`.
+    DENIED = "denied"
 
 
-#: Forward progression of the lifecycle (``FAILED`` can follow any state;
-#: ``SIMULATED`` is skipped when ``simulate=False``).
+#: Forward progression of the lifecycle (``FAILED`` can follow any state,
+#: ``DENIED`` only replaces ``QUEUED``; ``SIMULATED`` is skipped when
+#: ``simulate=False``).
 STATE_ORDER = (
     QueryState.QUEUED,
     QueryState.BOUND,
@@ -195,6 +201,9 @@ class QueryHandle:
         #: Warehouse-clock admission timestamp (set at admission, used
         #: for the log record — identical to sequential submission).
         self.timestamp: float | None = None
+        #: The admission controller's verdict (``None`` when no tenant
+        #: budgets are configured — the admit-all fast path).
+        self.admission: AdmissionVerdict | None = None
         self._outcome: QueryOutcome | None = None
         self._last_mark = time.perf_counter()
 
@@ -215,14 +224,23 @@ class QueryHandle:
         self.error = error
         self.state = QueryState.FAILED
 
+    def _deny(self, error: QueryFailedError) -> None:
+        self.error = error
+        self.state = QueryState.DENIED
+
     # -- public surface ------------------------------------------------ #
     @property
     def done(self) -> bool:
-        return self.state in (QueryState.DONE, QueryState.FAILED)
+        return self.state in (QueryState.DONE, QueryState.FAILED, QueryState.DENIED)
 
     @property
     def failed(self) -> bool:
         return self.state is QueryState.FAILED
+
+    @property
+    def denied(self) -> bool:
+        """Admission control refused this query (budget exhausted)."""
+        return self.state is QueryState.DENIED
 
     def result(self) -> QueryOutcome:
         """The outcome; raises the carried error for failed queries."""
@@ -348,7 +366,8 @@ class Session:
     ) -> QueryHandle:
         """Serve one request through the full lifecycle; never raises —
         failures (including resolution failures such as a missing
-        constraint) are carried on the returned handle."""
+        constraint) and admission denials are carried on the returned
+        handle."""
         try:
             resolved = self.resolve(request, constraint)
         except Exception as exc:  # noqa: BLE001 - carried on the handle
@@ -356,7 +375,11 @@ class Session:
             handle._fail(_wrap_failure(handle, exc))
             return handle
         handle = QueryHandle(resolved)
-        self._admit([handle])
+        # A single submission has no batch to defer behind, so DEFER
+        # downgrades to THROTTLE (which for one query just serves it).
+        self._admit([handle], defer_ok=False)
+        if handle.denied:
+            return handle
         _serve_one(self, handle)
         self.warehouse._maybe_autotune()
         return handle
@@ -375,11 +398,13 @@ class Session:
         under ``constraint`` or the session default), or ``(sql,
         constraint)`` pairs.  With ``fail_fast=False`` (default) a
         failing item — including one that fails *resolution*, e.g. a
-        bare SQL string with no constraint anywhere — is reported on its
-        own handle (index + SQL prefix) and the rest of the batch
-        proceeds; ``fail_fast=True`` keeps the legacy abort-the-batch
-        behavior.  ``max_workers`` > 1 plans on a thread pool,
-        bit-identical to sequential submission.
+        bare SQL string with no constraint anywhere, or one *denied* by
+        admission control (:class:`~repro.errors.AdmissionDeniedError`,
+        handle in the ``DENIED`` state) — is reported on its own handle
+        (index + SQL prefix) and the rest of the batch proceeds;
+        ``fail_fast=True`` keeps the legacy abort-the-batch behavior.
+        ``max_workers`` > 1 plans on a thread pool, bit-identical to
+        sequential submission.
         """
         entries: list[QueryRequest | QueryHandle] = []
         for index, item in enumerate(items):
@@ -439,17 +464,67 @@ class Session:
         return self.bill.dollars
 
     # -- serving internals ---------------------------------------------- #
-    def _admit(self, handles: list[QueryHandle]) -> None:
-        """Assign warehouse-clock timestamps in submission order.
+    def _admit(self, handles: list[QueryHandle], *, defer_ok: bool = True) -> None:
+        """Admission-check and timestamp handles in submission order.
 
         Done up front under the serving lock so threaded staging cannot
-        perturb the clock semantics sequential submission would have.
+        perturb the clock semantics sequential submission would have,
+        and so the admission controller reads billing state no finalize
+        can be mutating concurrently.  When tenant budgets are
+        configured, each handle gets the controller's verdict: ``DENY``
+        marks the handle ``DENIED`` (typed error, no timestamp — the
+        warehouse clock never advances for work that is not served);
+        ``DEFER`` leaves the timestamp unassigned, to be granted by a
+        re-admission at the tail of the batch; ``ADMIT``/``THROTTLE``
+        proceed.  Each admitted handle also *reserves* its tenant's
+        historical average cost per query, so a long batch from one
+        tenant escalates mid-batch (to THROTTLE, then DEFER — whose
+        tail re-check sees the real dollars and may deny) instead of
+        being admitted wholesale against the bill as of batch start.
+        With no budgets this is timestamping only — the pre-governance
+        fast path, byte for byte.
         """
         warehouse = self.warehouse
+        controller = warehouse.admission
+        reserved: dict[str, float] = {}
         with warehouse._serving_lock:
             for handle in handles:
+                was_deferred = handle.admission is AdmissionVerdict.DEFER
+                if controller.active:
+                    tenant = handle.request.tenant or self.tenant
+                    bill = warehouse.billing.get(tenant)
+                    verdict = controller.check(
+                        tenant,
+                        bill,
+                        defer_ok=defer_ok,
+                        reserved_dollars=reserved.get(tenant, 0.0),
+                    )
+                    handle.admission = verdict
+                    if verdict is AdmissionVerdict.DENY:
+                        handle._deny(
+                            controller.denied_error(
+                                tenant,
+                                warehouse.billing.get(tenant),
+                                index=handle.index,
+                                sql=handle.request.sql,
+                            )
+                        )
+                        continue
+                    if verdict is AdmissionVerdict.DEFER:
+                        continue
+                    # Admitted: reserve the tenant's average per-query
+                    # spend so later batch items see it as projected.
+                    if bill is not None and bill.queries:
+                        reserved[tenant] = reserved.get(tenant, 0.0) + (
+                            bill.dollars / bill.queries
+                        )
                 at_time = handle.request.at_time
                 timestamp = warehouse.clock if at_time is None else at_time
+                if was_deferred:
+                    # A re-admitted deferred handle finalizes behind work
+                    # admitted after it; clamp its explicit at_time up to
+                    # the clock so the log stays append-ordered.
+                    timestamp = max(timestamp, warehouse.clock)
                 warehouse.clock = max(warehouse.clock, timestamp)
                 handle.timestamp = timestamp
 
@@ -588,7 +663,17 @@ class ServingScheduler:
         self, entries: "list[QueryRequest | QueryHandle]"
     ) -> list[QueryHandle]:
         """Serve resolved requests; already-failed handles (items that
-        died during resolution) pass through in position, unscheduled."""
+        died during resolution) pass through in position, unscheduled.
+
+        Admission verdicts shape the batch: ``DENIED`` handles pass
+        through unserved (typed error carried; other tenants' items are
+        unaffected), ``THROTTLE``\\ d handles lose batch parallelism
+        (staged serially on the calling thread, finalized in submission
+        order like everything else), and ``DEFER``\\ red handles are
+        pushed behind the rest of the batch and re-admitted once it has
+        finalized — by which point the deferring tenant's bill includes
+        the batch's spend, so the re-check may deny them.
+        """
         handles = [
             entry
             if isinstance(entry, QueryHandle)
@@ -597,25 +682,71 @@ class ServingScheduler:
         ]
         live = [handle for handle in handles if not handle.failed]
         self.session._admit(live)
-        if self.max_workers == 1 or len(live) <= 1:
-            for handle in live:
+        batch = [h for h in live if h.admission is not AdmissionVerdict.DEFER]
+        deferred = [h for h in live if h.admission is AdmissionVerdict.DEFER]
+        self._serve(batch)
+        for handle in deferred:
+            # Re-admission assigns the timestamp now, so the log stays
+            # append-ordered behind the batch it deferred to.
+            self.session._admit([handle], defer_ok=False)
+            if handle.denied:
+                if self.fail_fast:
+                    assert handle.error is not None
+                    raise handle.error
+                continue
+            if not _serve_one(self.session, handle) and self.fail_fast:
+                assert handle.error is not None
+                raise handle.error
+        return handles
+
+    def _serve(self, batch: list[QueryHandle]) -> None:
+        """Stage + finalize admitted handles, finalizing in submission
+        order.  Throttled handles never enter the thread pool; denied
+        handles pass through unserved — under ``fail_fast`` a denial
+        aborts *at its position*, so items submitted before it are
+        served, logged, and billed exactly as sequential submission
+        would have (the legacy abort-the-batch contract).
+        """
+        pooled = [
+            h
+            for h in batch
+            if not h.denied and h.admission is not AdmissionVerdict.THROTTLE
+        ]
+        if self.max_workers == 1 or len(pooled) <= 1:
+            for handle in batch:
+                if handle.denied:
+                    if self.fail_fast:
+                        assert handle.error is not None
+                        raise handle.error
+                    continue
                 if not _serve_one(self.session, handle) and self.fail_fast:
                     assert handle.error is not None
                     raise handle.error
-            return handles
+            return
 
         with ThreadPoolExecutor(
             max_workers=self.max_workers, thread_name_prefix="serving"
         ) as pool:
-            futures = [pool.submit(self.session._stage, h) for h in live]
-            for handle, future in zip(live, futures):
+            futures = {h: pool.submit(self.session._stage, h) for h in pooled}
+            for handle in batch:
+                if handle.denied:
+                    if self.fail_fast:
+                        for pending in futures.values():
+                            pending.cancel()
+                        assert handle.error is not None
+                        raise handle.error
+                    continue
                 try:
-                    staged = future.result()
+                    future = futures.get(handle)
+                    staged = (
+                        future.result()
+                        if future is not None
+                        else self.session._stage(handle)
+                    )
                     self.session._finalize(handle, staged)
                 except Exception as exc:  # noqa: BLE001 - carried on handle
                     handle._fail(_wrap_failure(handle, exc))
                     if self.fail_fast:
-                        for pending in futures:
+                        for pending in futures.values():
                             pending.cancel()
                         raise handle.error from exc
-        return handles

@@ -31,11 +31,20 @@ shim over it.
 from __future__ import annotations
 
 import threading
+import time
 from dataclasses import replace as dataclasses_replace
-from typing import Callable, Iterable
+from typing import Callable, Iterable, Mapping
 
 from repro.catalog.catalog import Catalog
 from repro.core.bioptimizer import BiObjectiveOptimizer, PlanChoice
+from repro.core.governance import (
+    AdmissionController,
+    RetentionPolicy,
+    TemplateFrequencyProvider,
+    TenantBudget,
+    make_retention_policy,
+    rank_by_forecast,
+)
 from repro.core.plan_cache import BindingCache, PlanCache, SkeletonCache
 from repro.core.service import QueryOutcome, QueryRequest, Session, TenantBill
 from repro.sql.parameterize import normalize_sql, parameterize_sql
@@ -77,6 +86,8 @@ class CostIntelligentWarehouse:
         plan_cache_size: int = 256,
         parameterized_serving: bool = True,
         tuning_policy: TuningPolicy | None = None,
+        retention_policy: "str | Callable[[], RetentionPolicy]" = "lru",
+        tenant_budgets: "Mapping[str, TenantBudget | float] | None" = None,
     ) -> None:
         if database is None and catalog is None:
             raise ReproError("provide a Database (with data) or a Catalog (stats-only)")
@@ -125,14 +136,36 @@ class CostIntelligentWarehouse:
         #: skeleton or binding level, keys recomputed per submission.
         self.parameterized_serving = parameterized_serving
         parameterized = parameterized_serving and plan_cache_size > 0
+        #: Resource governance (see :mod:`repro.core.governance`).
+        #: ``self.frequency`` bridges the Statistics Service's per-family
+        #: arrival forecasts to cache retention and warming;
+        #: ``self.admission`` enforces per-tenant dollar budgets at
+        #: :meth:`Session._admit` time.  The default ``retention_policy``
+        #: ("lru") keeps served plans and cache counters bit-identical to
+        #: the pre-governance warehouse; "cost-aware" keeps hot forecast
+        #: templates alive under eviction pressure.
+        self.frequency = TemplateFrequencyProvider(self.logs)
+        self.admission = AdmissionController(tenant_budgets)
+        self.retention_policy_name = (
+            retention_policy if isinstance(retention_policy, str) else "custom"
+        )
+        self._governed = retention_policy != "lru"
+
+        def _policy() -> RetentionPolicy:
+            return make_retention_policy(
+                retention_policy, frequency=self.frequency.rate_for
+            )
+
         self.plan_cache: PlanCache | None = (
-            PlanCache(plan_cache_size) if plan_cache_size > 0 else None
+            PlanCache(plan_cache_size, policy=_policy())
+            if plan_cache_size > 0
+            else None
         )
         self.skeleton_cache: SkeletonCache | None = (
-            SkeletonCache(plan_cache_size) if parameterized else None
+            SkeletonCache(plan_cache_size, policy=_policy()) if parameterized else None
         )
         self.binding_cache: BindingCache | None = (
-            BindingCache(plan_cache_size) if parameterized else None
+            BindingCache(plan_cache_size, policy=_policy()) if parameterized else None
         )
 
     # ------------------------------------------------------------------ #
@@ -221,7 +254,9 @@ class CostIntelligentWarehouse:
         the concurrent :class:`~repro.core.service.ServingScheduler`
         (bit-identical outcomes, deterministic log order).  A failing
         item aborts the batch with a
-        :class:`~repro.errors.QueryFailedError` naming the item; use
+        :class:`~repro.errors.QueryFailedError` naming the item (an
+        admission denial aborts with the typed
+        :class:`~repro.errors.AdmissionDeniedError`); use
         :meth:`Session.submit_many` with ``fail_fast=False`` for
         per-handle error reporting instead.
         """
@@ -307,6 +342,10 @@ class CostIntelligentWarehouse:
         # Binding (and, via the optimizer's DAG memo keyed on the bound
         # object, physical planning) is constraint-independent: reuse it
         # when the same query arrives under a second constraint.
+        # ``governed`` = a non-LRU retention policy is active: stores are
+        # annotated with the template identity and the planning seconds
+        # the entry saves, so eviction can weigh forecast value.
+        governed = self._governed
         bound = None
         binding_key = (normalized, version)
         if self.binding_cache is not None:
@@ -315,11 +354,20 @@ class CostIntelligentWarehouse:
             # Reuse the parameterization already lexed for the cache
             # keys: recurring templates bind from a cached template AST
             # with the fresh constants substituted (no lex, no parse).
+            bind_start = time.perf_counter() if governed else 0.0
             bound = self.binder.bind_parameterized(
                 parameterized.template_key, parameterized.constants, sql=sql
             )
             if self.binding_cache is not None:
-                self.binding_cache.store(binding_key, bound)
+                if governed:
+                    self.binding_cache.store(
+                        binding_key,
+                        bound,
+                        template=parameterized.template_key,
+                        cost_s=time.perf_counter() - bind_start,
+                    )
+                else:
+                    self.binding_cache.store(binding_key, bound)
         # MV rewriting happens after the binding cache (which keeps the
         # original binding) and is deterministic per (template, catalog
         # version), so skeleton reuse stays coherent: every instance of a
@@ -340,13 +388,27 @@ class CostIntelligentWarehouse:
             kind = "sla" if constraint.is_sla else "budget"
             skeleton_key = (parameterized.template_key, kind, version)
             trees = self.skeleton_cache.lookup(skeleton_key)
+        plan_start = time.perf_counter() if governed else 0.0
         choice = self.optimizer.optimize(bound, constraint, skeleton_trees=trees)
+        # The planning seconds this optimize took are what a future hit
+        # on the stored entries saves (a proxy for the skeleton level,
+        # whose hits still re-run physical planning and the DOP search).
+        planning_s = time.perf_counter() - plan_start if governed else 0.0
         if skeleton_key is not None and trees is None:
             # variant_trees() reads the optimizer's DAG memo — no rework.
             self.skeleton_cache.store(
-                skeleton_key, self.optimizer.variant_trees(bound)
+                skeleton_key,
+                self.optimizer.variant_trees(bound),
+                template=parameterized.template_key if governed else None,
+                cost_s=planning_s,
             )
-        self.plan_cache.store(exact_key, bound, choice)
+        self.plan_cache.store(
+            exact_key,
+            bound,
+            choice,
+            template=parameterized.template_key if governed else None,
+            cost_s=planning_s,
+        )
         return bound, choice
 
     def _maybe_rewrite_mv(self, bound: BoundQuery) -> BoundQuery:
@@ -377,6 +439,44 @@ class CostIntelligentWarehouse:
 
     def _unregister_applied_mv(self, candidate: MVCandidate) -> None:
         self._applied_mvs.pop(candidate.name, None)
+
+    def warm_cache(
+        self,
+        workload: "Mapping[str, str] | Iterable[tuple[str, str]]",
+        constraint: Constraint,
+        *,
+        top: int | None = None,
+    ) -> list[str]:
+        """Pre-plan the hottest forecast templates through the skeleton path.
+
+        ``workload`` maps template family names to one representative SQL
+        text each (a mapping or ``(family, sql)`` pairs).  Families are
+        ranked by the Statistics Service's forecast arrival rates (raw
+        log counts break ties, input order last, so an empty log warms in
+        the given order), the ``top`` hottest are planned under
+        ``constraint`` — populating the binding, skeleton, and exact
+        caches exactly as serving would — and the warmed family names are
+        returned hottest-first.  Nothing is logged, billed, or
+        admission-checked: warming is the warehouse spending background
+        planning time, not tenant traffic.  No-op when plan caching is
+        disabled.
+        """
+        if self.plan_cache is None:
+            return []
+        ranked = rank_by_forecast(
+            workload, self.frequency.family_rates(), self.logs.template_counts()
+        )
+        if top is not None:
+            ranked = ranked[: max(top, 0)]
+        warmed: list[str] = []
+        for family, sql in ranked:
+            self._plan(sql, constraint, True)
+            if self._governed:
+                self.frequency.note_template(
+                    family, parameterize_sql(sql).template_key
+                )
+            warmed.append(family)
+        return warmed
 
     def invalidate_plan_cache(self) -> None:
         """Explicitly flush cached plans, skeletons, and template
@@ -449,23 +549,28 @@ class CostIntelligentWarehouse:
         return "billing by tenant:\n" + "\n".join(lines) + total
 
     def reset_cache_stats(self) -> None:
-        """Zero all cache and optimizer counters without dropping
-        entries (benchmark warmup: report steady-state rates only)."""
+        """Zero all cache, optimizer, retention-policy, and admission
+        counters without dropping entries or budgets (benchmark warmup:
+        report steady-state rates only)."""
         for cache in (self.plan_cache, self.skeleton_cache, self.binding_cache):
             if cache is not None:
                 cache.reset_stats()
         if self.estimator.models.cache is not None:
             self.estimator.models.cache.stats.reset()
         self.optimizer.reset_counters()
+        self.admission.reset_stats()
 
-    def describe_caches(self) -> dict[str, dict[str, float | int]]:
-        """Hit-rate observability across the serving-layer caches.
+    def describe_caches(self) -> dict[str, dict]:
+        """Hit-rate and governance observability across serving caches.
 
         Reports the exact plan cache, the template skeleton cache, and
         the estimator's timing/volume caches — the numbers the
-        throughput benchmark records next to its speedups.
+        throughput benchmark records next to its speedups — plus, per
+        cache, the retention policy's name and its eviction count, and an
+        ``admission`` block with per-tenant verdict counts (empty until a
+        tenant budget is configured).
         """
-        report: dict[str, dict[str, float | int]] = {}
+        report: dict[str, dict] = {}
         for label, cache in (
             ("plan_cache", self.plan_cache),
             ("skeleton_cache", self.skeleton_cache),
@@ -480,7 +585,10 @@ class CostIntelligentWarehouse:
                 "misses": cache.misses,
                 "evictions": cache.evictions,
                 "hit_rate": cache.hit_rate,
+                "policy": cache.policy.name,
+                "policy_evictions": cache.policy.evictions,
             }
+        report["admission"] = self.admission.verdict_counts
         timing_cache = self.estimator.models.cache
         if timing_cache is not None:
             stats = timing_cache.stats
@@ -623,6 +731,17 @@ class CostIntelligentWarehouse:
             tenant=tenant,
         )
         self.logs.append(record)
+        if self._governed and template.rpartition(".")[2] != "adhoc":
+            # Teach the frequency provider which literal-free template
+            # key this logged family instantiates, so forecast rates can
+            # score that template's cache entries (parameterize_sql is
+            # lru-cached — the serving path just computed this).  The
+            # default "adhoc" family (any namespace) is deliberately
+            # skipped: it aggregates unrelated one-off queries, and its
+            # combined arrival rate would let never-reused entries
+            # outscore genuinely recurring templates.  Unregistered keys
+            # score zero — exactly right for one-offs.
+            self.frequency.note_template(template, parameterize_sql(sql).template_key)
         return record
 
     # ------------------------------------------------------------------ #

@@ -20,6 +20,15 @@ explicit lifetime management, no unbounded growth across queries.
 Results are shared objects; every consumer in the repo treats
 ``PipelineTiming``/``OpVolume`` as read-only.
 
+Cardinality overrides are *projected per pipeline* before keying: the
+volume model only ever reads override entries for the pipeline's own
+plan nodes (plus whether a mapping was passed at all, which switches
+un-overridden operators into observed-selectivity mode), so two
+override mappings that agree on this pipeline's nodes are the same
+computation.  Without the projection, a DOP monitor that learns one
+node-local truth would miss the cache for *every* pipeline in the plan;
+with it, only the pipeline that owns the overridden node re-times.
+
 Correctness contract (enforced by the parity suite in
 ``tests/cost/test_estimation_parity.py``): the cache returns objects
 produced by exactly the same computation the uncached path runs, so
@@ -104,7 +113,35 @@ class TimingCache:
         self._timings: WeakKeyDictionary[Pipeline, dict] = WeakKeyDictionary()
         # pipeline -> whether volumes depend on DOP (partial aggregates)
         self._dop_sensitive: WeakKeyDictionary[Pipeline, bool] = WeakKeyDictionary()
+        # pipeline -> its plan-node ids (for override projection)
+        self._node_ids: WeakKeyDictionary[Pipeline, frozenset] = WeakKeyDictionary()
         self.stats = TimingCacheStats()
+
+    def _project_overrides(
+        self, pipeline: Pipeline, overrides: dict[int, float] | None
+    ) -> dict[int, float] | None:
+        """Restrict overrides to the pipeline's own plan nodes.
+
+        Safe because :func:`pipeline_volumes` reads overrides only at
+        this pipeline's node ids; ``None`` stays ``None`` and a non-empty
+        mapping may project to ``{}`` (both distinctions matter — any
+        mapping enables observed-selectivity mode).  Projection widens
+        key sharing: a node-local truth learned by the DOP monitor no
+        longer fragments every *other* pipeline's cache slots.
+        """
+        if overrides is None:
+            return None
+        node_ids = self._node_ids.get(pipeline)
+        if node_ids is None:
+            node_ids = frozenset(op.node.node_id for op in pipeline.ops)
+            self._node_ids[pipeline] = node_ids
+        if all(node_id in node_ids for node_id in overrides):
+            return overrides
+        return {
+            node_id: rows
+            for node_id, rows in overrides.items()
+            if node_id in node_ids
+        }
 
     # ------------------------------------------------------------------ #
     # Lookups
@@ -116,11 +153,13 @@ class TimingCache:
         overrides: dict[int, float] | None,
     ) -> list[OpVolume]:
         """Cached :func:`pipeline_volumes`; DOP enters the key only for
-        pipelines whose volumes actually depend on it."""
+        pipelines whose volumes actually depend on it, and overrides
+        only through their projection onto this pipeline's nodes."""
         sensitive = self._dop_sensitive.get(pipeline)
         if sensitive is None:
             sensitive = volumes_depend_on_dop(pipeline)
             self._dop_sensitive[pipeline] = sensitive
+        overrides = self._project_overrides(pipeline, overrides)
         key = (dop if sensitive else 0, overrides_key(overrides))
         per_pipeline = self._volumes.get(pipeline)
         if per_pipeline is None:
@@ -143,6 +182,7 @@ class TimingCache:
         compute: Callable[[Pipeline, int, dict[int, float] | None], "PipelineTiming"],
     ) -> "PipelineTiming":
         """Memoized pipeline timing; ``compute`` runs on a miss."""
+        overrides = self._project_overrides(pipeline, overrides)
         key = (dop, overrides_key(overrides))
         per_pipeline = self._timings.get(pipeline)
         if per_pipeline is None:
@@ -166,6 +206,7 @@ class TimingCache:
         self._volumes.clear()
         self._timings.clear()
         self._dop_sensitive.clear()
+        self._node_ids.clear()
 
     def __len__(self) -> int:
         return sum(len(v) for v in self._timings.values())

@@ -104,6 +104,37 @@ class QueryFailedError(ReproError):
             self.__cause__ = cause
 
 
+class AdmissionDeniedError(QueryFailedError):
+    """Admission control refused a submission: the tenant's dollar
+    budget is exhausted.
+
+    Raised (well — carried on the :class:`~repro.core.service.QueryHandle`,
+    whose terminal state becomes ``DENIED``) when a tenant's
+    :class:`~repro.core.service.TenantBill` total spend (serving plus
+    background tuning) has reached its configured
+    :class:`~repro.core.governance.TenantBudget`.  Subclasses
+    :class:`QueryFailedError` so batch error reporting
+    (``fail_fast=False`` per-handle carrying, index + SQL prefix) works
+    unchanged; carries the tenant and the dollar figures so callers can
+    show *whose* budget blocked *what*.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        tenant: str,
+        spent_dollars: float | None = None,
+        budget_dollars: float | None = None,
+        index: int | None = None,
+        sql: str | None = None,
+    ) -> None:
+        super().__init__(message, index=index, sql=sql)
+        self.tenant = tenant
+        self.spent_dollars = spent_dollars
+        self.budget_dollars = budget_dollars
+
+
 class TuningError(ReproError):
     """Auto-tuning / what-if service failure."""
 

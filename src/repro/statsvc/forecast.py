@@ -54,9 +54,25 @@ class WorkloadForecaster:
 
     # ------------------------------------------------------------------ #
     def forecast(self, store: QueryLogStore) -> dict[str, TemplateForecast]:
+        """Per-template forecasts over a log store (or any object with
+        the store's read API, e.g. a per-tenant
+        :class:`~repro.statsvc.logs.TenantLogView`)."""
         return {
             template: self.forecast_template(template, records, store.horizon)
             for template, records in store.by_template().items()
+        }
+
+    def rates(self, store: QueryLogStore) -> dict[str, float]:
+        """Forecast arrivals/hour per template family.
+
+        The thin per-family view of :meth:`forecast` that feeds resource
+        governance — cost-aware cache retention and cache warming rank
+        templates by these rates, the same numbers that gate
+        :class:`~repro.tuning.service.TuningPolicy` auto-apply.
+        """
+        return {
+            template: forecast.rate_per_hour
+            for template, forecast in self.forecast(store).items()
         }
 
     def forecast_template(

@@ -70,6 +70,17 @@ class QueryLogStore:
         """Records with ``start <= timestamp < end``."""
         return [r for r in self._records if start <= r.timestamp < end]
 
+    def tail(self, count: int) -> list[QueryRecord]:
+        """The most recent ``count`` records (all of them when fewer).
+
+        O(count), not O(log): consumers that recompute over recent
+        behavior on a serving path (e.g. the governance layer's forecast
+        refresh) must not scale with total history.
+        """
+        if count < 1:
+            return []
+        return self._records[-count:]
+
     def by_template(self) -> dict[str, list[QueryRecord]]:
         grouped: dict[str, list[QueryRecord]] = {}
         for record in self._records:
@@ -86,6 +97,15 @@ class QueryLogStore:
         to the tenants whose traffic motivated an action.
         """
         return _tenant_counts(self, templates)
+
+    def template_counts(self) -> dict[str, int]:
+        """Logged-query counts per template family.
+
+        The raw-arrival complement of the forecaster's rates: cache
+        warming uses it to break ranking ties when the forecast has not
+        seen a family yet.
+        """
+        return _template_counts(self)
 
     @property
     def total_dollars(self) -> float:
@@ -139,6 +159,10 @@ class TenantLogView:
         """Per-tenant counts over this view (at most one key: the tenant)."""
         return _tenant_counts(self, templates)
 
+    def template_counts(self) -> dict[str, int]:
+        """This tenant's logged-query counts per template family."""
+        return _template_counts(self)
+
     @property
     def total_dollars(self) -> float:
         return sum(r.dollars for r in self)
@@ -150,6 +174,13 @@ class TenantLogView:
         if not timestamps:
             return (0.0, 0.0)
         return (timestamps[0], timestamps[-1])
+
+
+def _template_counts(records: Iterable[QueryRecord]) -> dict[str, int]:
+    counts: dict[str, int] = {}
+    for record in records:
+        counts[record.template] = counts.get(record.template, 0) + 1
+    return counts
 
 
 def _tenant_counts(

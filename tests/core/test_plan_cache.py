@@ -118,6 +118,21 @@ def test_striped_cache_survives_concurrent_hammer():
     assert cache.hits + cache.misses == 8 * 400
 
 
+def test_striped_eviction_goes_through_the_policy():
+    """Over-filling a multi-stripe cache evicts within each full stripe
+    via the retention policy; the policy counter matches the striping
+    counter and entries never exceed capacity."""
+    cache = PlanCache(capacity=256)  # 4 stripes of 64
+    for index in range(1000):
+        cache.store(("key", index), "bound", "choice")
+    assert len(cache) <= 256
+    assert cache.evictions == 1000 - len(cache)
+    assert cache.policy.evictions == cache.evictions
+    # The survivors are the most recently stored keys *of each stripe*.
+    for stripe in cache._stripes:
+        assert len(stripe.entries) <= stripe.capacity
+
+
 # --------------------------- warehouse hits --------------------------- #
 def test_repeat_submission_hits_cache(warehouse):
     constraint = sla_constraint(12.0)

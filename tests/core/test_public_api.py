@@ -21,6 +21,7 @@ from repro import (
     RecommendationState,
     ResizeWarehouse,
     Session,
+    TenantBudget,
     TuningAction,
     TuningPolicy,
     TuningService,
@@ -37,6 +38,13 @@ EXPECTED_ALL = [
     "QueryState",
     "ServingScheduler",
     "Session",
+    "AdmissionController",
+    "AdmissionVerdict",
+    "AdmissionDeniedError",
+    "TenantBudget",
+    "RetentionPolicy",
+    "LruPolicy",
+    "CostAwarePolicy",
     "CostEstimator",
     "HardwareCalibration",
     "DopPlanner",
@@ -111,7 +119,7 @@ def test_session_signatures():
 
 
 def test_handle_surface():
-    members = {"result", "describe", "done", "failed"}
+    members = {"result", "describe", "done", "failed", "denied"}
     assert members <= {name for name in dir(QueryHandle) if not name.startswith("_")}
     assert {state.name for state in QueryState} == {
         "QUEUED",
@@ -120,6 +128,7 @@ def test_handle_surface():
         "SIMULATED",
         "DONE",
         "FAILED",
+        "DENIED",
     }
 
 
@@ -159,6 +168,75 @@ def test_submit_shim_emits_no_warnings(stats_warehouse):
             ["SELECT count(*) AS c FROM orders"], constraint=sla_constraint(15.0)
         )
     assert outcome.constraint_met is not None
+
+
+# --------------------------------------------------------------------- #
+# Governance surface (PR 5)
+# --------------------------------------------------------------------- #
+def test_warehouse_constructor_governance_keywords():
+    parameters = inspect.signature(CostIntelligentWarehouse).parameters
+    assert "retention_policy" in parameters
+    assert parameters["retention_policy"].default == "lru"
+    assert "tenant_budgets" in parameters
+    assert parameters["tenant_budgets"].default is None
+    warm = inspect.signature(CostIntelligentWarehouse.warm_cache)
+    assert list(warm.parameters) == ["self", "workload", "constraint", "top"]
+
+
+def test_tenant_budget_field_snapshot():
+    assert [f.name for f in TenantBudget.__dataclass_fields__.values()] == [
+        "dollars",
+        "throttle_at",
+        "defer_at",
+    ]
+
+
+def test_describe_caches_snapshot(stats_warehouse):
+    """describe_caches() reports retention + admission observability:
+    each cache block carries the policy name and its eviction counter,
+    and the admission block counts per-tenant verdicts."""
+    stats_warehouse.submit(
+        "SELECT count(*) AS c FROM orders", sla_constraint(15.0)
+    )
+    report = stats_warehouse.describe_caches()
+    assert set(report) == {
+        "plan_cache",
+        "skeleton_cache",
+        "binding_cache",
+        "timing_cache",
+        "admission",
+    }
+    for label in ("plan_cache", "skeleton_cache", "binding_cache"):
+        assert set(report[label]) == {
+            "entries",
+            "capacity",
+            "hits",
+            "misses",
+            "evictions",
+            "hit_rate",
+            "policy",
+            "policy_evictions",
+        }
+        assert report[label]["policy"] == "lru"
+        assert report[label]["policy_evictions"] == 0
+    # No budgets configured: the admit-all fast path counts nothing.
+    assert report["admission"] == {}
+
+
+def test_reset_cache_stats_zeroes_governance_counters(stats_warehouse):
+    stats_warehouse.admission.set_budget("analyst", 100.0)
+    session = stats_warehouse.session(tenant="analyst")
+    session.submit(
+        "SELECT count(*) AS c FROM orders", sla_constraint(15.0)
+    ).result()
+    report = stats_warehouse.describe_caches()
+    assert report["admission"]["analyst"]["admit"] == 1
+    stats_warehouse.reset_cache_stats()
+    report = stats_warehouse.describe_caches()
+    assert report["admission"] == {}
+    assert report["plan_cache"]["policy_evictions"] == 0
+    # Budgets survive a stats reset (only counters are zeroed).
+    assert stats_warehouse.admission.budget_for("analyst") is not None
 
 
 # --------------------------------------------------------------------- #

@@ -54,6 +54,63 @@ def test_timing_memoized_per_dop(q5_dag):
     assert stats.timing_hits == len(q5_dag)
 
 
+def test_overrides_projected_onto_pipeline_nodes(q5_dag):
+    """Node-local DOP-monitor truths only re-time the pipeline that owns
+    the overridden node; every other pipeline keeps hitting the cache.
+
+    Regression for the full-mapping keying bug: the timing key embedded
+    the *entire* overrides mapping, so learning one node's true
+    cardinality fragmented every pipeline's cache slots.
+    """
+    estimator = fresh_estimator()
+    dops = {p.pipeline_id: 4 for p in q5_dag}
+    stats = estimator.models.cache.stats
+
+    # Baseline: everything computed once under observed-selectivity mode.
+    estimator.estimate_dag(q5_dag, dops, overrides={})
+    assert stats.timing_computations == len(q5_dag)
+
+    # Learn a truth local to one pipeline: only that pipeline re-times.
+    pipelines = list(q5_dag)
+    owner = pipelines[0]
+    local_node = owner.ops[0].node.node_id
+    other_ids = {
+        op.node.node_id for p in pipelines[1:] for op in p.ops
+    }
+    assert local_node not in other_ids  # the truth really is node-local
+    stats.reset()
+    estimator.estimate_dag(q5_dag, dops, overrides={local_node: 12345.0})
+    assert stats.timing_computations == 1
+    assert stats.timing_hits == len(q5_dag) - 1
+
+    # Equal projections share slots: a second mapping agreeing on this
+    # plan's nodes (same single override) is a full hit.
+    stats.reset()
+    estimator.estimate_dag(q5_dag, dops, overrides={local_node: 12345.0})
+    assert stats.timing_computations == 0
+    assert stats.timing_hits == len(q5_dag)
+
+
+def test_projection_preserves_none_vs_empty(q5_dag):
+    """Projection must not collapse the None / {} mode switch: a mapping
+    with only foreign nodes projects to {} (observed-selectivity mode),
+    not to the estimate-only None mode."""
+    estimator = fresh_estimator()
+    dops = {p.pipeline_id: 4 for p in q5_dag}
+    stats = estimator.models.cache.stats
+    none_estimate = estimator.estimate_dag(q5_dag, dops, overrides=None)
+    empty_estimate = estimator.estimate_dag(q5_dag, dops, overrides={})
+    assert stats.timing_computations == 2 * len(q5_dag)  # distinct slots
+    # A foreign-only mapping is the {} computation, served from cache.
+    foreign = max(op.node.node_id for p in q5_dag for op in p.ops) + 1000
+    stats.reset()
+    foreign_estimate = estimator.estimate_dag(q5_dag, dops, overrides={foreign: 5.0})
+    assert stats.timing_computations == 0
+    assert stats.timing_hits == len(q5_dag)
+    assert foreign_estimate.latency == empty_estimate.latency
+    assert none_estimate.latency > 0
+
+
 def test_dop_independent_volumes_shared_across_dops(q5_dag):
     estimator = fresh_estimator()
     for dop in (1, 2, 4, 8):

@@ -253,3 +253,25 @@ def test_tenant_counts_by_template():
     view = store.for_tenant("default")
     assert view.tenant_counts({"hot"}) == {"default": 4}
     assert store.for_tenant("ghost").tenant_counts() == {}
+
+
+def test_template_counts_on_store_and_tenant_view():
+    store = QueryLogStore()
+    for i in range(6):
+        store.append(record(i, float(i * 60), template="hot" if i % 2 else "cold"))
+    assert store.template_counts() == {"hot": 3, "cold": 3}
+    # The per-tenant view mirrors the store's read API over its slice.
+    assert store.for_tenant("default").template_counts() == {"hot": 3, "cold": 3}
+    assert store.for_tenant("ghost").template_counts() == {}
+
+
+def test_forecaster_rates_per_family():
+    store = QueryLogStore()
+    for i in range(12):
+        store.append(record(i, float(i * 300), template="hot" if i % 2 else "cold"))
+    rates = WorkloadForecaster().rates(store)
+    assert set(rates) == {"hot", "cold"}
+    forecasts = WorkloadForecaster().forecast(store)
+    for family, rate in rates.items():
+        assert rate == forecasts[family].rate_per_hour
+        assert rate > 0
