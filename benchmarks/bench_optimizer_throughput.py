@@ -37,6 +37,17 @@ template interleaved with a sweep of cold ones):
   break on real wall time — but the gap over LRU (~40% vs 0%) dwarfs
   the wobble, and plans stay bit-identical either way.
 
+**Resilient pool** (failure-domain overhead: identical fault-free
+literal-varying traffic through ``Session.submit`` on two identical
+warehouses):
+
+- **bare** (``ResiliencePolicy(enabled=False)``) vs **hardened**
+  (default policy).  The only difference is the per-request
+  ``StageGuard`` wrapping the bind/optimize stages, so fault-free the
+  hardened path must be pure bookkeeping: zero retries, zero degraded
+  outcomes, bit-identical plans, and a median paired-chunk wall
+  overhead under 5% (gated in CI from the written report).
+
 Reports wall times, throughput, timing-model evaluations, a per-stage
 time breakdown (join ordering / bushy generation / physical planning /
 DOP search / bind+serve overhead), and cache hit rates, then writes
@@ -58,6 +69,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import statistics
 import sys
 import time
 from pathlib import Path
@@ -68,6 +80,7 @@ if str(REPO_ROOT / "src") not in sys.path:
 
 from repro.core.service import QueryRequest  # noqa: E402
 from repro.core.bioptimizer import BiObjectiveOptimizer  # noqa: E402
+from repro.core.resilience import ResiliencePolicy  # noqa: E402
 from repro.core.warehouse import CostIntelligentWarehouse  # noqa: E402
 from repro.cost.estimator import CostEstimator  # noqa: E402
 from repro.dop.constraints import budget_constraint, sla_constraint  # noqa: E402
@@ -357,6 +370,106 @@ def run_governed(catalog, constraint) -> dict:
     }
 
 
+#: Paired interleaved chunks for the resilient-overhead A/B.  Fixed —
+#: independent of ``--rounds`` — so the median stays meaningful in
+#: ``--quick`` CI runs (a single-chunk median would be one noisy draw).
+RESILIENT_CHUNKS = 6
+#: Hard ceiling on the fault-free cost of resilient serving: the
+#: hardened path (per-request StageGuard wrapping bind/optimize) must
+#: stay under 5% median paired-chunk wall overhead vs the identical
+#: warehouse with resilience disabled.
+RESILIENT_OVERHEAD_CEILING = 0.05
+
+
+def resilient_traffic(names, *, chunks: int) -> list[list[str]]:
+    """Literal-varying chunks for the overhead A/B (fresh constants per
+    arrival; seeds disjoint from every other pool)."""
+    sequence: list[list[str]] = []
+    seed = 40_000
+    for _ in range(chunks):
+        chunk: list[str] = []
+        for name in names:
+            chunk.append(instantiate(name, seed=seed))
+            seed += 1
+        sequence.append(chunk)
+    return sequence
+
+
+def run_resilient(catalog, constraint) -> dict:
+    """A/B fault-free serving with resilience on vs off.
+
+    Identical literal-varying traffic through ``Session.submit`` on two
+    identical warehouses; the only difference is the per-request
+    ``StageGuard`` (retry/deadline/fault orchestration) around the bind
+    and optimize stages.  With no faults injected the guard must be
+    bookkeeping only: zero retries, zero degraded outcomes, plan
+    parity, and a small wall overhead.  Chunks are measured interleaved
+    in alternating order and compared pairwise, so slow-drifting
+    machine noise cancels within each pair and the median over chunks
+    resists the occasional scheduler spike.
+    """
+    names = template_names()
+    chunks = resilient_traffic(names, chunks=RESILIENT_CHUNKS)
+    policies = {
+        "bare": ResiliencePolicy(enabled=False),
+        "hardened": ResiliencePolicy(),
+    }
+    warehouses = {
+        mode: CostIntelligentWarehouse(
+            catalog=catalog, plan_cache_size=1024, resilience=policy
+        )
+        for mode, policy in policies.items()
+    }
+    sessions = {
+        mode: warehouse.session(tenant="bench", constraint=constraint)
+        for mode, warehouse in warehouses.items()
+    }
+    clocks = dict.fromkeys(policies, 0.0)
+
+    def submit(mode: str, sql: str):
+        outcome = sessions[mode].submit(
+            QueryRequest(sql=sql, at_time=clocks[mode], simulate=False)
+        ).result()
+        clocks[mode] += 60.0
+        return outcome
+
+    for mode in policies:
+        # Warmup: one out-of-band instantiation per template populates
+        # the caches identically and warms the interpreter.
+        for name in names:
+            submit(mode, instantiate(name, seed=999))
+
+    walls: dict[str, list[float]] = {"bare": [], "hardened": []}
+    choices: dict[str, list] = {"bare": [], "hardened": []}
+    pairing = list(policies)
+    for index, chunk in enumerate(chunks):
+        ordering = pairing if index % 2 == 0 else pairing[::-1]
+        for mode in ordering:
+            start = time.perf_counter()
+            for sql in chunk:
+                choices[mode].append(submit(mode, sql).choice)
+            walls[mode].append(time.perf_counter() - start)
+
+    chunk_overheads = [
+        hardened / bare - 1.0
+        for bare, hardened in zip(walls["bare"], walls["hardened"])
+    ]
+    health = warehouses["hardened"].describe_health()["resilience"]
+    return {
+        "mode": "resilient",
+        "queries": sum(len(chunk) for chunk in chunks),
+        "chunks": RESILIENT_CHUNKS,
+        "bare_wall_s": sum(walls["bare"]),
+        "hardened_wall_s": sum(walls["hardened"]),
+        "chunk_overheads": chunk_overheads,
+        "overhead": statistics.median(chunk_overheads),
+        "overhead_ceiling": RESILIENT_OVERHEAD_CEILING,
+        "retries": health["retries"],
+        "degraded_queries": health["degraded_queries"],
+        "parity_mismatches": check_parity(choices["bare"], choices["hardened"]),
+    }
+
+
 def check_parity(reference_choices, fast_choices) -> int:
     """Count plan/estimate mismatches between two choice sequences."""
     mismatches = 0
@@ -485,8 +598,22 @@ def main(argv: list[str] | None = None) -> int:
         f"{governed['parity_mismatches']} parity mismatches"
     )
 
+    resilient = run_resilient(catalog, sla_constraint(SLA_SECONDS))
+    print(
+        f"\nresilient pool (fault-free overhead A/B, {resilient['queries']} "
+        f"submits over {resilient['chunks']} paired chunks): median overhead "
+        f"{resilient['overhead']:+.1%} (ceiling "
+        f"{RESILIENT_OVERHEAD_CEILING:.0%}), {resilient['retries']} retries, "
+        f"{resilient['degraded_queries']} degraded, "
+        f"{resilient['parity_mismatches']} parity mismatches"
+    )
+
     total_mismatches = (
-        mismatches + lv_mismatches + param_mismatches + governed["parity_mismatches"]
+        mismatches
+        + lv_mismatches
+        + param_mismatches
+        + governed["parity_mismatches"]
+        + resilient["parity_mismatches"]
     )
     report = {
         "benchmark": "optimizer_throughput",
@@ -503,6 +630,7 @@ def main(argv: list[str] | None = None) -> int:
         "parameterized": lv_param,
         "parameterized_speedup_wall": param_speedup,
         "governed": governed,
+        "resilient": resilient,
         "parity_mismatches": total_mismatches,
     }
     Path(args.output).write_text(json.dumps(report, indent=2) + "\n")
@@ -526,6 +654,22 @@ def main(argv: list[str] | None = None) -> int:
                 f"{governed['cost_aware']['skeleton_hit_rate']:.0%} does not "
                 f"exceed LRU's {governed['lru']['skeleton_hit_rate']:.0%} "
                 "under eviction pressure"
+            )
+            return 1
+        # Fault-free resilient serving must be bookkeeping only —
+        # retries/degradations here mean a guard misfires without
+        # faults (deterministic, enforced at any SF and in quick mode).
+        if resilient["retries"] or resilient["degraded_queries"]:
+            print(
+                "FAIL: fault-free resilient serving "
+                f"retried {resilient['retries']} time(s) / degraded "
+                f"{resilient['degraded_queries']} query(ies)"
+            )
+            return 1
+        if resilient["overhead"] >= RESILIENT_OVERHEAD_CEILING:
+            print(
+                f"FAIL: resilient serving overhead {resilient['overhead']:+.1%} "
+                f">= {RESILIENT_OVERHEAD_CEILING:.0%} ceiling"
             )
             return 1
     if args.sf < 100.0 and not args.no_assert:

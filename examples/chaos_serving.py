@@ -1,0 +1,149 @@
+"""Chaos serving: a Statistics Service outage plus optimizer latency
+spikes land mid-workload — and the warehouse keeps serving.
+
+Failure-domain hardening in action, on one seeded fault schedule:
+
+- **Optimizer latency spikes** blow the per-stage optimize deadline.
+  Instead of failing the query, serving falls back to degraded mode —
+  cached skeleton shapes when the template is warm, else the heuristic
+  default plan — and stamps the outcome (``degraded``/``degraded_mode``)
+  so the dashboard can see floor-quality plans.  Degraded plans are
+  never cached: the next healthy arrival re-optimizes fresh.
+- **Transient optimizer blips** are retried with deterministic seeded
+  backoff, and every modeled backoff second is metered onto the
+  tenant's bill as ``retry_dollars`` — resilience is a workload cost,
+  not free.
+- **The Statistics Service outage** trips a circuit breaker after three
+  straight refresh failures.  While open, frequency forecasts degrade
+  to empty (cost-aware retention quietly behaves like LRU) and serving
+  never notices.  After the fault clears, a call-counted cooldown lets
+  one probe through and the breaker closes again.
+
+Everything is deterministic: the fault schedule is a pure function of
+(seed, fault point, invocation), so this script prints the same story
+on every run.
+
+Run:  python examples/chaos_serving.py
+"""
+
+from repro import (
+    CostIntelligentWarehouse,
+    QueryRequest,
+    ResiliencePolicy,
+    RetryPolicy,
+    sla_constraint,
+)
+from repro.testing import FaultPlan, FaultSpec, outage
+from repro.workloads.tpch_queries import instantiate
+from repro.workloads.tpch_stats import synthetic_tpch_catalog
+
+
+def request(name: str, seed: int) -> QueryRequest:
+    return QueryRequest(
+        sql=instantiate(name, seed=seed),
+        template=name,
+        simulate=False,  # plan + price only: planning is the fault surface here
+    )
+
+
+def breaker_state(warehouse) -> str:
+    return warehouse.describe_health()["breakers"]["statsvc"]["state"]
+
+
+def main() -> None:
+    print("Building a stats-only TPC-H warehouse (SF 1) with resilience on...")
+    warehouse = CostIntelligentWarehouse(
+        catalog=synthetic_tpch_catalog(1.0),
+        retention_policy="cost-aware",  # reads the statsvc forecasts
+        resilience=ResiliencePolicy(
+            retry=RetryPolicy(max_attempts=3, seed=42),
+            stage_deadline_s={"optimize": 0.5},  # latency spikes blow this
+        ),
+    )
+    session = warehouse.session(tenant="analytics", constraint=sla_constraint(15.0))
+    templates = ["q1_pricing_summary", "q6_revenue_forecast", "q5_local_supplier"]
+
+    # --- Phase 1: healthy traffic warms the caches and the stats log.
+    for seed in range(1, 5):
+        for name in templates:
+            handle = session.submit(request(name, seed))
+            assert handle.result().degraded is False
+    warehouse.frequency.invalidate()
+    healthy_rates = warehouse.frequency.family_rates()
+    print(
+        f"healthy: {len(templates) * 4} queries served, "
+        f"{len(healthy_rates)} template families forecast, "
+        f"statsvc breaker {breaker_state(warehouse)}\n"
+    )
+
+    # --- Phase 2: the faults land mid-workload.
+    faults = FaultPlan(
+        [
+            # Every other optimize stalls 2s (vs the 0.5s stage deadline)
+            # and ~1 in 4 throws a retryable transient blip.
+            FaultSpec(
+                point="optimize", error_rate=0.25, latency_rate=0.5, latency_s=2.0
+            ),
+            # The Statistics Service goes fully dark.
+            outage("statsvc"),
+        ],
+        seed=42,
+    )
+    warehouse.inject_faults(faults)
+    print(f"injecting: {faults.describe()}")
+
+    # The outage trips the breaker after three straight refresh failures;
+    # forecasts degrade to empty and retention quietly falls back to LRU.
+    for _ in range(3):
+        warehouse.frequency.invalidate()
+        warehouse.frequency.family_rates()
+    print(
+        f"statsvc breaker {breaker_state(warehouse)}, "
+        f"forecasts degraded to {warehouse.frequency.family_rates()}"
+    )
+
+    print("\n=== outcomes under fault injection ===")
+    outcomes = []
+    for seed in range(5, 11):
+        handle = session.submit(request(templates[seed % len(templates)], seed))
+        outcome = handle.result()
+        outcomes.append(outcome)
+        mode = outcome.degraded_mode or "-"
+        print(
+            f"  #{outcome.record.query_id:<3} {handle.request.template:<22} "
+            f"[{handle.state.value}] retries={handle.retries} "
+            f"degraded={str(outcome.degraded):<5} mode={mode}"
+        )
+    assert all(o is not None for o in outcomes), "chaos must never fail the batch"
+    assert any(o.degraded for o in outcomes), "latency spikes should degrade some plans"
+
+    bill = warehouse.billing["analytics"]
+    health = warehouse.describe_health()
+    print(
+        f"\nretries {health['resilience']['retries']}, "
+        f"retry dollars ${bill.retry_dollars:.4f} (metered onto the bill), "
+        f"degraded queries {health['resilience']['degraded_queries']}, "
+        f"faults fired {health['faults']['fired']}"
+    )
+
+    # --- Phase 3: the fault clears; the breaker cools down and closes.
+    warehouse.inject_faults(None)
+    for _ in range(warehouse.statsvc_breaker.cooldown_calls + 1):
+        warehouse.frequency.invalidate()
+        recovered = warehouse.frequency.family_rates()
+    print(
+        f"\nrecovered: statsvc breaker {breaker_state(warehouse)}, "
+        f"{len(recovered)} template families forecast again"
+    )
+    assert breaker_state(warehouse) == "closed"
+
+    # Degraded plans were never cached: the same template re-optimizes
+    # fresh and serves at full quality immediately.
+    handle = session.submit(request(templates[0], seed=99))
+    outcome = handle.result()
+    print(f"post-chaos submit: degraded={outcome.degraded} (full quality restored)")
+    assert not outcome.degraded
+
+
+if __name__ == "__main__":
+    main()

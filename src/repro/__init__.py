@@ -36,6 +36,17 @@ metered per tenant, and ``rollback()`` restores bit-identical plans and
 catalog state.  A :class:`TuningPolicy` drives recurring cycles from the
 serving layer.
 
+Failure-domain hardening: a :class:`ResiliencePolicy` on the warehouse
+gives every request bounded, budget-aware retries with deterministic
+seeded backoff (:class:`RetryPolicy`; retry dollars land on the tenant's
+bill), per-request/per-stage deadlines (an ``optimize`` timeout degrades
+to the heuristic default plan — ``outcome.degraded`` — instead of
+failing the batch), and :class:`CircuitBreaker`\\ s around the
+Statistics Service and background tuning.  Faults are injectable
+deterministically via ``warehouse.inject_faults`` (see
+:mod:`repro.testing.faults`) and observable via
+``warehouse.describe_health()``.
+
 Quickstart::
 
     from repro import (
@@ -58,19 +69,29 @@ from repro.core import (
     AdmissionController,
     AdmissionVerdict,
     BiObjectiveOptimizer,
+    BreakerState,
+    CircuitBreaker,
     CostAwarePolicy,
     CostIntelligentWarehouse,
+    Deadline,
     LruPolicy,
     QueryHandle,
     QueryOutcome,
     QueryRequest,
     QueryState,
+    ResiliencePolicy,
     RetentionPolicy,
+    RetryPolicy,
     ServingScheduler,
     Session,
     TenantBudget,
 )
-from repro.errors import AdmissionDeniedError
+from repro.errors import (
+    AdmissionDeniedError,
+    DeadlineExceededError,
+    RetryExhaustedError,
+    TransientError,
+)
 from repro.cost import CostEstimator, HardwareCalibration
 from repro.dop import DopPlanner, budget_constraint, sla_constraint
 from repro.engine import Database, LocalExecutor
@@ -90,7 +111,7 @@ from repro.tuning import (
 from repro.workloads import load_tpch
 from repro.workloads.tpch_stats import synthetic_tpch_catalog
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 __all__ = [
     "Catalog",
@@ -109,6 +130,14 @@ __all__ = [
     "RetentionPolicy",
     "LruPolicy",
     "CostAwarePolicy",
+    "ResiliencePolicy",
+    "RetryPolicy",
+    "CircuitBreaker",
+    "BreakerState",
+    "Deadline",
+    "TransientError",
+    "DeadlineExceededError",
+    "RetryExhaustedError",
     "CostEstimator",
     "HardwareCalibration",
     "DopPlanner",

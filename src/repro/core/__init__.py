@@ -31,6 +31,31 @@ forecast templates the same way).  Tenant *admission* is an
 THROTTLE -> DEFER -> DENY``, with denials surfaced as typed
 :class:`~repro.errors.AdmissionDeniedError`\\ s on the handle — one
 tenant running dry never fails another tenant's in-flight batch.
+
+Failure domains are hardened in :mod:`repro.core.resilience`.  The
+serving stages (``bind`` / ``optimize`` / ``simulate``), the Statistics
+Service forecaster, and background tuning applies are named *fault
+points*; a :class:`~repro.core.resilience.ResiliencePolicy` on the
+warehouse wraps the serving stages in a per-request
+:class:`~repro.core.resilience.StageGuard` that (a) retries transient
+failures under a :class:`~repro.core.resilience.RetryPolicy` — bounded
+attempts, exponential backoff with deterministic seeded jitter, retry
+dollars metered into the tenant's :class:`TenantBill` and *budget-aware*
+(a tenant near ``DENY`` gets fewer attempts); (b) enforces per-request
+and per-stage :class:`~repro.core.resilience.Deadline`\\ s, where an
+``optimize`` timeout falls back to *degraded-mode serving* (cached
+skeleton shapes, else the heuristic left-deep default plan — bit-
+identical to a cold ``explore_bushy=False`` optimizer; the outcome is
+marked ``degraded=True`` and the batch never fails); and (c) guards the
+forecaster and the tuner with
+:class:`~repro.core.resilience.CircuitBreaker`\\ s — an open statsvc
+breaker degrades cost-aware retention to plain LRU, an open tuning
+breaker stops a failing tuner from burning background dollars.
+Failures are a deterministic, testable input: a seeded
+:class:`~repro.testing.faults.FaultPlan` (``warehouse.inject_faults``)
+drives the chaos suite, and ``warehouse.describe_health()`` reports
+breaker states, retry/degraded counters, and the tuning service's last
+swallowed error.
 """
 
 from repro.core.bioptimizer import BiObjectiveOptimizer, PlanChoice
@@ -43,6 +68,15 @@ from repro.core.governance import (
     TemplateFrequencyProvider,
     TenantBudget,
     make_retention_policy,
+)
+from repro.core.resilience import (
+    BreakerState,
+    CircuitBreaker,
+    Deadline,
+    ResiliencePolicy,
+    ResilienceStats,
+    RetryPolicy,
+    StageGuard,
 )
 from repro.core.service import (
     QueryHandle,
@@ -67,6 +101,13 @@ __all__ = [
     "TemplateFrequencyProvider",
     "TenantBudget",
     "make_retention_policy",
+    "BreakerState",
+    "CircuitBreaker",
+    "Deadline",
+    "ResiliencePolicy",
+    "ResilienceStats",
+    "RetryPolicy",
+    "StageGuard",
     "QueryHandle",
     "QueryOutcome",
     "QueryRequest",

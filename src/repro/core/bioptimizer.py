@@ -233,6 +233,47 @@ class BiObjectiveOptimizer:
         assert best is not None
         return best
 
+    def optimize_heuristic(self, query: BoundQuery, constraint: Constraint) -> PlanChoice:
+        """Degraded-mode default plan: the left-deep DP winner, no bushy
+        exploration.
+
+        Bit-identical to what a cold ``explore_bushy=False`` optimizer
+        produces for ``query`` — one join-ordering DP, one physical
+        plan, one DOP search — which is the contract the serving layer's
+        degraded fallback promises (parity-tested).  When the DAG memo
+        already holds the query's variants, their variant 0 *is* that
+        left-deep base plan (``bushy_variants`` keeps the original tree
+        first), so no planning is repeated.
+        """
+        version = self.catalog.version
+        if self._dag_memo is not None:
+            memoized = self._dag_memo.get(query)
+            if memoized is not None and memoized[0] == version:
+                self.dag_memo_hits += 1
+                variant = memoized[1][0]
+                return PlanChoice(
+                    plan=variant.plan,
+                    dag=variant.dag,
+                    dop_plan=self.dop_planner.plan(variant.dag, constraint),
+                    join_tree=variant.tree,
+                    variant_index=0,
+                    bushiness=bushiness(variant.tree),
+                    variants_considered=1,
+                )
+        self.dag_plans += 1
+        tree = self.dag_planner.choose_join_tree(query)
+        plan = self.dag_planner.plan_with_tree(query, tree)
+        dag = decompose_pipelines(plan)
+        return PlanChoice(
+            plan=plan,
+            dag=dag,
+            dop_plan=self.dop_planner.plan(dag, constraint),
+            join_tree=tree,
+            variant_index=0,
+            bushiness=bushiness(tree),
+            variants_considered=1,
+        )
+
 
 def _better(candidate: PlanChoice, incumbent: PlanChoice, constraint: Constraint) -> bool:
     """Prefer feasible plans; among feasible, the lower objective wins."""

@@ -49,6 +49,7 @@ from repro.statsvc.forecast import WorkloadForecaster
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from collections import OrderedDict
 
+    from repro.core.resilience import CircuitBreaker
     from repro.core.service import TenantBill
     from repro.statsvc.logs import QueryLogStore
 
@@ -246,6 +247,8 @@ class TemplateFrequencyProvider:
         *,
         refresh_every: int = 32,
         window_records: int = 2048,
+        breaker: "CircuitBreaker | None" = None,
+        fault_hook: Callable[[], None] | None = None,
     ) -> None:
         if refresh_every < 1:
             raise ReproError(f"refresh_every must be >= 1, got {refresh_every}")
@@ -255,6 +258,15 @@ class TemplateFrequencyProvider:
         self.forecaster = forecaster or WorkloadForecaster()
         self.refresh_every = refresh_every
         self.window_records = window_records
+        #: Optional circuit breaker around forecast refreshes (the
+        #: ``statsvc`` failure domain): a failing forecaster clears the
+        #: rates — cost-aware retention scores drop to zero, which is
+        #: exact LRU — and an OPEN breaker skips refresh attempts until
+        #: its call-counted cooldown elapses.  ``fault_hook`` is the
+        #: ``statsvc`` fault-injection point (chaos testing); it runs at
+        #: the top of every attempted refresh.
+        self.breaker = breaker
+        self.fault_hook = fault_hook
         self._rates: dict[str, float] = {}
         self._families: dict[Hashable, str] = {}
         self._refreshed_at = -1
@@ -300,8 +312,31 @@ class TemplateFrequencyProvider:
                 and size - self._refreshed_at < self.refresh_every
             ):
                 return
+            if self.breaker is not None and not self.breaker.allow():
+                # OPEN: skip the refresh but advance the watermark so an
+                # outage costs one denied call per refresh window, not
+                # one per logged query; rates stay degraded (possibly
+                # empty — LRU behavior) until the breaker half-opens.
+                self._refreshed_at = size
+                return
+            try:
+                if self.fault_hook is not None:
+                    self.fault_hook()
+                rates = self._compute_rates()
+            except ReproError:
+                # Forecaster down: degrade retention scoring to LRU
+                # (empty rates score every entry 0.0, and CostAwarePolicy
+                # ties break toward least-recently-used) rather than
+                # failing the serving path that triggered the refresh.
+                self._refreshed_at = size
+                self._rates = {}
+                if self.breaker is not None:
+                    self.breaker.record_failure()
+                return
             self._refreshed_at = size
-            self._rates = self._compute_rates()
+            self._rates = rates
+            if self.breaker is not None:
+                self.breaker.record_success()
 
     def _compute_rates(self) -> dict[str, float]:
         """Per-family rates over the recent tail of the log (bounded)."""
@@ -459,6 +494,20 @@ class AdmissionController:
             counts = self._verdicts.setdefault(tenant, {})
             counts[verdict.value] = counts.get(verdict.value, 0) + 1
         return verdict
+
+    def peek(self, tenant: str, bill: "TenantBill | None") -> AdmissionVerdict:
+        """The verdict ``tenant`` would get right now, without counting.
+
+        A read-only check for consumers that need the tenant's budget
+        *pressure* but are not admitting a query — the resilience layer
+        uses it to shrink a near-DENY tenant's retry allowance.  Ignores
+        batch reservations and the ``defer_ok`` downgrade; never touches
+        the observability counters.
+        """
+        budget = self._budgets.get(tenant)
+        if budget is None:
+            return AdmissionVerdict.ADMIT
+        return budget.verdict(bill.total_dollars if bill is not None else 0.0)
 
     def denied_error(
         self,

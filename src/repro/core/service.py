@@ -42,7 +42,7 @@ from typing import TYPE_CHECKING, Iterable, Mapping
 from repro.core.governance import AdmissionVerdict
 from repro.dop.constraints import Constraint
 from repro.engine.local_executor import LocalExecutor
-from repro.errors import QueryFailedError, ReproError
+from repro.errors import DeadlineExceededError, QueryFailedError, ReproError
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.core.bioptimizer import PlanChoice
@@ -121,6 +121,12 @@ class QueryOutcome:
     batch: "Batch | None"
     record: "QueryRecord"
     constraint: Constraint
+    #: Degraded-mode serving: the optimize stage blew its deadline and
+    #: the plan is the fallback (``degraded_mode``: ``"skeleton"`` =
+    #: cached template shapes re-planned, bit-identical to full
+    #: optimization; ``"heuristic"`` = the left-deep default plan).
+    degraded: bool = False
+    degraded_mode: str | None = None
 
     @property
     def tenant(self) -> str:
@@ -165,6 +171,8 @@ class QueryOutcome:
             f"cost={fmt_dollars(self.dollars)}",
             f"constraint met: {self.constraint_met}",
         ]
+        if self.degraded:
+            lines.append(f"degraded: optimize deadline ({self.degraded_mode} plan)")
         return "\n".join(lines)
 
 
@@ -179,6 +187,8 @@ class _Staged:
     choice: "PlanChoice"
     batch: "Batch | None"
     sim: "SimResult | None"
+    degraded: bool = False
+    degraded_mode: str | None = None
 
 
 class QueryHandle:
@@ -204,7 +214,13 @@ class QueryHandle:
         #: The admission controller's verdict (``None`` when no tenant
         #: budgets are configured — the admit-all fast path).
         self.admission: AdmissionVerdict | None = None
+        #: Retry attempts the resilience layer burned staging this
+        #: request (their modeled dollars are on the tenant's bill).
+        self.retries = 0
         self._outcome: QueryOutcome | None = None
+        #: Exactly-once finalize latch (set under the serving lock):
+        #: logging and billing must never apply twice to one handle.
+        self._finalized = False
         self._last_mark = time.perf_counter()
 
     # -- lifecycle bookkeeping (serving internals) --------------------- #
@@ -241,6 +257,11 @@ class QueryHandle:
     def denied(self) -> bool:
         """Admission control refused this query (budget exhausted)."""
         return self.state is QueryState.DENIED
+
+    @property
+    def degraded(self) -> bool:
+        """Whether this query was served by the degraded-mode fallback."""
+        return self._outcome is not None and self._outcome.degraded
 
     def result(self) -> QueryOutcome:
         """The outcome; raises the carried error for failed queries."""
@@ -285,6 +306,12 @@ class TenantBill:
     machine_seconds: float = 0.0
     background_dollars: float = 0.0
     background_actions: int = 0
+    #: Modeled compute burned by resilience retries (each backoff window
+    #: priced by the RetryPolicy).  Part of :attr:`total_dollars`, so a
+    #: tenant whose queries keep retrying runs down its admission budget
+    #: — retries are not free.
+    retry_dollars: float = 0.0
+    retries: int = 0
 
     def charge(self, record: "QueryRecord") -> None:
         self.queries += 1
@@ -296,10 +323,15 @@ class TenantBill:
         self.background_actions += 1
         self.background_dollars += dollars
 
+    def charge_retry(self, dollars: float) -> None:
+        """Meter one retry attempt's modeled compute against this tenant."""
+        self.retries += 1
+        self.retry_dollars += dollars
+
     @property
     def total_dollars(self) -> float:
-        """Serving plus background spend."""
-        return self.dollars + self.background_dollars
+        """Serving plus background plus retry spend."""
+        return self.dollars + self.background_dollars + self.retry_dollars
 
 
 # --------------------------------------------------------------------- #
@@ -543,13 +575,40 @@ class Session:
         request = handle.request
         handle._advance(handle.state, "queued")
         assert request.constraint is not None  # resolved at submission
+        guard = warehouse._stage_guard(request.tenant)
 
         def on_bound(_bound: "BoundQuery") -> None:
             handle._advance(QueryState.BOUND, "bind")
 
-        bound, choice = warehouse._plan(
-            request.sql, request.constraint, request.use_plan_cache, on_bound=on_bound
-        )
+        degraded = False
+        degraded_mode: str | None = None
+        try:
+            bound, choice = warehouse._plan(
+                request.sql,
+                request.constraint,
+                request.use_plan_cache,
+                on_bound=on_bound,
+                guard=guard,
+            )
+        except DeadlineExceededError as exc:
+            if (
+                guard is None
+                or exc.stage != "optimize"
+                or not warehouse.resilience.degraded_fallback
+            ):
+                raise
+            # Degraded-mode serving: an optimize timeout never fails the
+            # batch.  Fall back to the skeleton-cache shapes or the
+            # heuristic default plan, and finish the remaining stages
+            # unguarded — the request already blew its deadline; what is
+            # left is completing at floor quality, not enforcing it.
+            handle.retries += guard.retries
+            guard = None
+            bound, choice, degraded_mode = warehouse._plan_degraded(
+                request.sql, request.constraint
+            )
+            degraded = True
+            warehouse.resilience_stats.note_degraded()
         handle._advance(QueryState.PLANNED, "plan")
 
         batch: "Batch | None" = None
@@ -566,17 +625,41 @@ class Session:
         sim: "SimResult | None" = None
         if request.simulate:
             assert request.policy is not None  # resolved at submission
-            sim = warehouse._simulate(choice, request.constraint, request.policy, truth)
+
+            def simulate() -> "SimResult":
+                return warehouse._simulate(
+                    choice, request.constraint, request.policy, truth
+                )
+
+            sim = guard.run("simulate", simulate) if guard is not None else simulate()
             handle._advance(QueryState.SIMULATED, "simulate")
-        return _Staged(bound=bound, choice=choice, batch=batch, sim=sim)
+        if guard is not None:
+            handle.retries += guard.retries
+        return _Staged(
+            bound=bound,
+            choice=choice,
+            batch=batch,
+            sim=sim,
+            degraded=degraded,
+            degraded_mode=degraded_mode,
+        )
 
     def _finalize(self, handle: QueryHandle, staged: _Staged) -> None:
-        """The ordered phase: log, bill the tenant, track templates."""
+        """The ordered phase: log, bill the tenant, track templates.
+
+        Exactly-once: the handle's finalize latch is checked and set
+        under the serving lock, so no interleaving of scheduler threads
+        (or a retried finalize after a mid-batch fault) can log or bill
+        the same handle twice.
+        """
         warehouse = self.warehouse
         request = handle.request
         assert handle.timestamp is not None and request.constraint is not None
         assert request.tenant is not None
         with warehouse._serving_lock:
+            if handle._finalized:
+                return
+            handle._finalized = True
             record = warehouse._log(
                 request.sql,
                 staged.bound,
@@ -597,6 +680,8 @@ class Session:
                 batch=staged.batch,
                 record=record,
                 constraint=request.constraint,
+                degraded=staged.degraded,
+                degraded_mode=staged.degraded_mode,
             )
         )
 
@@ -614,7 +699,14 @@ def _wrap_failure(handle: QueryHandle, exc: Exception) -> QueryFailedError:
     if isinstance(exc, QueryFailedError):
         return exc
     return QueryFailedError(
-        str(exc), index=handle.index, sql=handle.request.sql, cause=exc
+        str(exc),
+        index=handle.index,
+        sql=handle.request.sql,
+        cause=exc,
+        # Typed resilience errors name the stage that failed; for
+        # anything else, the handle's lifecycle state at failure time
+        # is the best picklable locator we have.
+        stage=getattr(exc, "stage", None) or handle.state.value,
     )
 
 

@@ -39,6 +39,7 @@ from repro.catalog.catalog import Catalog
 from repro.core.bioptimizer import BiObjectiveOptimizer, PlanChoice
 from repro.core.governance import (
     AdmissionController,
+    AdmissionVerdict,
     RetentionPolicy,
     TemplateFrequencyProvider,
     TenantBudget,
@@ -46,6 +47,12 @@ from repro.core.governance import (
     rank_by_forecast,
 )
 from repro.core.plan_cache import BindingCache, PlanCache, SkeletonCache
+from repro.core.resilience import (
+    CircuitBreaker,
+    ResiliencePolicy,
+    ResilienceStats,
+    StageGuard,
+)
 from repro.core.service import QueryOutcome, QueryRequest, Session, TenantBill
 from repro.sql.parameterize import normalize_sql, parameterize_sql
 from repro.cost.estimator import CostEstimator
@@ -69,6 +76,16 @@ from repro.tuning.service import TuningPolicy, TuningService
 
 POLICY_NAMES = ("dop-monitor", "static", "interval-scaler", "stage-scaler")
 
+#: Admission verdict -> retry-pressure ordinal: each escalation step a
+#: tenant's spend has climbed costs one retry attempt (see
+#: :meth:`repro.core.resilience.RetryPolicy.attempts_for`).
+_RETRY_PRESSURE = {
+    AdmissionVerdict.ADMIT: 0,
+    AdmissionVerdict.THROTTLE: 1,
+    AdmissionVerdict.DEFER: 2,
+    AdmissionVerdict.DENY: 3,
+}
+
 
 class CostIntelligentWarehouse:
     """The user-facing cost-intelligent warehouse service."""
@@ -88,6 +105,7 @@ class CostIntelligentWarehouse:
         tuning_policy: TuningPolicy | None = None,
         retention_policy: "str | Callable[[], RetentionPolicy]" = "lru",
         tenant_budgets: "Mapping[str, TenantBudget | float] | None" = None,
+        resilience: ResiliencePolicy | None = None,
     ) -> None:
         if database is None and catalog is None:
             raise ReproError("provide a Database (with data) or a Catalog (stats-only)")
@@ -144,7 +162,24 @@ class CostIntelligentWarehouse:
         #: ("lru") keeps served plans and cache counters bit-identical to
         #: the pre-governance warehouse; "cost-aware" keeps hot forecast
         #: templates alive under eviction pressure.
-        self.frequency = TemplateFrequencyProvider(self.logs)
+        #: Failure-domain hardening (see :mod:`repro.core.resilience`).
+        #: The policy configures per-stage retries/deadlines and the
+        #: degraded-mode fallback; ``resilience=ResiliencePolicy(
+        #: enabled=False)`` is the unwrapped A/B baseline.  ``faults``
+        #: holds the active :class:`~repro.testing.faults.FaultPlan`
+        #: (``None`` outside chaos testing — see :meth:`inject_faults`).
+        self.resilience = resilience or ResiliencePolicy()
+        self.resilience_stats = ResilienceStats()
+        self.faults = None
+        #: Breaker around the Statistics Service forecaster: while OPEN,
+        #: forecast refreshes are skipped and cost-aware retention
+        #: scores degrade to plain LRU instead of stalling serving.
+        self.statsvc_breaker = CircuitBreaker("statsvc")
+        self.frequency = TemplateFrequencyProvider(
+            self.logs,
+            breaker=self.statsvc_breaker,
+            fault_hook=lambda: self._fire_fault("statsvc"),
+        )
         self.admission = AdmissionController(tenant_budgets)
         self.retention_policy_name = (
             retention_policy if isinstance(retention_policy, str) else "custom"
@@ -300,18 +335,31 @@ class CostIntelligentWarehouse:
         constraint: Constraint,
         use_plan_cache: bool,
         on_bound: Callable[[BoundQuery], None] | None = None,
+        guard: StageGuard | None = None,
     ) -> tuple[BoundQuery, PlanChoice]:
         """Bind + optimize, via the two-level plan cache when possible.
 
         ``on_bound`` fires as soon as the bound query is available (from
         a cache or a fresh bind) — the serving layer uses it to stamp the
         :class:`~repro.core.service.QueryHandle`'s ``BOUND`` transition.
+        ``guard`` (when resilience is enabled) wraps the ``bind`` and
+        ``optimize`` fault points with retry/deadline/fault-injection
+        handling; cache hits bypass both points — a cached plan needs no
+        binding or optimization, so there is nothing to fail.
         """
+
+        def staged(stage: str, fn: Callable[[], object]):
+            return guard.run(stage, fn) if guard is not None else fn()
+
         if not use_plan_cache or self.plan_cache is None:
-            bound = self._maybe_rewrite_mv(self.binder.bind_sql(sql))
+            bound = staged(
+                "bind", lambda: self._maybe_rewrite_mv(self.binder.bind_sql(sql))
+            )
             if on_bound is not None:
                 on_bound(bound)
-            return bound, self.optimizer.optimize(bound, constraint)
+            return bound, staged(
+                "optimize", lambda: self.optimizer.optimize(bound, constraint)
+            )
 
         if not self.parameterized_serving:
             # PR 1 serving semantics: exact-match level only, key
@@ -322,10 +370,14 @@ class CostIntelligentWarehouse:
                 if on_bound is not None:
                     on_bound(cached[0])
                 return cached
-            bound = self._maybe_rewrite_mv(self.binder.bind_sql(sql))
+            bound = staged(
+                "bind", lambda: self._maybe_rewrite_mv(self.binder.bind_sql(sql))
+            )
             if on_bound is not None:
                 on_bound(bound)
-            choice = self.optimizer.optimize(bound, constraint)
+            choice = staged(
+                "optimize", lambda: self.optimizer.optimize(bound, constraint)
+            )
             self.plan_cache.store(key, bound, choice)
             return bound, choice
 
@@ -355,8 +407,11 @@ class CostIntelligentWarehouse:
             # keys: recurring templates bind from a cached template AST
             # with the fresh constants substituted (no lex, no parse).
             bind_start = time.perf_counter() if governed else 0.0
-            bound = self.binder.bind_parameterized(
-                parameterized.template_key, parameterized.constants, sql=sql
+            bound = staged(
+                "bind",
+                lambda: self.binder.bind_parameterized(
+                    parameterized.template_key, parameterized.constants, sql=sql
+                ),
             )
             if self.binding_cache is not None:
                 if governed:
@@ -389,7 +444,10 @@ class CostIntelligentWarehouse:
             skeleton_key = (parameterized.template_key, kind, version)
             trees = self.skeleton_cache.lookup(skeleton_key)
         plan_start = time.perf_counter() if governed else 0.0
-        choice = self.optimizer.optimize(bound, constraint, skeleton_trees=trees)
+        choice = staged(
+            "optimize",
+            lambda: self.optimizer.optimize(bound, constraint, skeleton_trees=trees),
+        )
         # The planning seconds this optimize took are what a future hit
         # on the stored entries saves (a proxy for the skeleton level,
         # whose hits still re-run physical planning and the DOP search).
@@ -410,6 +468,169 @@ class CostIntelligentWarehouse:
             cost_s=planning_s,
         )
         return bound, choice
+
+    def _plan_degraded(
+        self, sql: str, constraint: Constraint
+    ) -> tuple[BoundQuery, PlanChoice, str]:
+        """Degraded-mode planning: never fails, never pollutes the caches.
+
+        The fallback the serving layer takes when the ``optimize`` stage
+        blows its deadline.  Runs *unguarded* (no fault points, no
+        deadlines — the degraded path is the floor under the batch) and
+        returns ``(bound, choice, mode)`` where ``mode`` is:
+
+        - ``"skeleton"`` — the template's cached skeleton shapes were
+          re-planned under the query's literals, exactly as a skeleton
+          cache hit would have (bit-identical to full optimization by
+          the skeleton parity contract), or
+        - ``"heuristic"`` — the default plan: the left-deep DP winner
+          with one DOP search, bit-identical to a cold
+          ``explore_bushy=False`` optimizer.
+
+        Nothing is stored in the exact plan cache: a heuristic plan is
+        *not* what full optimization would produce, and caching it would
+        serve degraded plans to healthy future submissions (the chaos
+        suite's cache-consistency invariant).
+        """
+        if self.plan_cache is None or not self.parameterized_serving:
+            bound = self._maybe_rewrite_mv(self.binder.bind_sql(sql))
+            return bound, self.optimizer.optimize_heuristic(bound, constraint), "heuristic"
+        version = self.catalog.version
+        parameterized = parameterize_sql(sql)
+        bound = None
+        if self.binding_cache is not None:
+            # The guarded path usually bound this query before its
+            # optimize deadline tripped; reuse that binding.
+            bound = self.binding_cache.lookup((parameterized.normalized, version))
+        if bound is None:
+            bound = self.binder.bind_parameterized(
+                parameterized.template_key, parameterized.constants, sql=sql
+            )
+        bound = self._maybe_rewrite_mv(bound)
+        if self.skeleton_cache is not None:
+            kind = "sla" if constraint.is_sla else "budget"
+            trees = self.skeleton_cache.lookup(
+                (parameterized.template_key, kind, version)
+            )
+            if trees is not None:
+                choice = self.optimizer.optimize(
+                    bound, constraint, skeleton_trees=trees
+                )
+                return bound, choice, "skeleton"
+        return bound, self.optimizer.optimize_heuristic(bound, constraint), "heuristic"
+
+    # ------------------------------------------------------------------ #
+    # Resilience / fault injection
+    # ------------------------------------------------------------------ #
+    def inject_faults(self, plan) -> None:
+        """Install (or clear, with ``None``) a deterministic fault plan.
+
+        ``plan`` is a :class:`~repro.testing.faults.FaultPlan`; the five
+        named fault points (``bind``, ``optimize``, ``simulate``,
+        ``statsvc``, ``tuning_apply``) consult it live, so a plan can be
+        swapped mid-workload to model an outage starting or ending.
+        """
+        self.faults = plan
+
+    def _fault_decision(self, point: str):
+        plan = self.faults
+        if plan is None:
+            return None
+        return plan.draw(point)
+
+    def _fire_fault(self, point: str) -> None:
+        """Raise the injected error for ``point``, if one fires (hook
+        for non-staged fault points: ``statsvc``, ``tuning_apply``)."""
+        decision = self._fault_decision(point)
+        if decision is not None and decision.error is not None:
+            raise decision.error
+
+    def _stage_guard(self, tenant: str | None) -> StageGuard | None:
+        """One per-request :class:`~repro.core.resilience.StageGuard`.
+
+        ``None`` when resilience is disabled (the unwrapped A/B
+        baseline).  The retry allowance is budget-aware: the tenant's
+        current admission verdict (a lock-free peek — advisory, never
+        counted) maps to a pressure ordinal that shrinks the attempts a
+        near-DENY tenant may burn.
+        """
+        policy = self.resilience
+        if not policy.enabled:
+            return None
+        attempts = policy.retry.max_attempts
+        if tenant is not None and self.admission.active:
+            verdict = self.admission.peek(tenant, self.billing.get(tenant))
+            attempts = policy.retry.attempts_for(_RETRY_PRESSURE[verdict])
+
+        def charge(dollars: float) -> None:
+            if tenant is not None:
+                self._charge_retry(tenant, dollars)
+
+        return StageGuard(
+            policy,
+            attempts=attempts,
+            fault_decision=self._fault_decision,
+            charge_retry=charge,
+            stats=self.resilience_stats,
+        )
+
+    def _charge_retry(self, tenant: str, dollars: float) -> None:
+        """Meter one retry's modeled compute into the tenant's bill."""
+        if dollars <= 0.0:
+            return
+        with self._serving_lock:
+            bill = self.billing.get(tenant)
+            if bill is None:
+                bill = self.billing[tenant] = TenantBill(tenant)
+            bill.charge_retry(dollars)
+
+    def describe_health(self) -> dict:
+        """Failure-domain observability, alongside :meth:`describe_caches`.
+
+        Reports the resilience counters (retries, retry dollars,
+        deadline hits, degraded outcomes), both circuit breakers
+        (``statsvc`` and ``tuning``), the tuning service's last swallowed
+        error and consecutive-failure count, and the active fault plan's
+        fired tallies (empty outside chaos testing).
+        """
+        resilience = self.resilience_stats.snapshot()
+        resilience["enabled"] = self.resilience.enabled
+        if self._tuning is not None:
+            service = self._tuning
+            last_error = service.last_error
+            tuning = {
+                "cycles_run": service.cycles_run,
+                "consecutive_failures": service.consecutive_failures,
+                "last_error": (
+                    f"{type(last_error).__name__}: {last_error}"
+                    if last_error is not None
+                    else None
+                ),
+            }
+            tuning_breaker = service.breaker.snapshot()
+        else:
+            tuning = {
+                "cycles_run": 0,
+                "consecutive_failures": 0,
+                "last_error": None,
+            }
+            tuning_breaker = {
+                "state": "closed",
+                "consecutive_failures": 0,
+                "opens": 0,
+            }
+        return {
+            "resilience": resilience,
+            "breakers": {
+                "statsvc": self.statsvc_breaker.snapshot(),
+                "tuning": tuning_breaker,
+            },
+            "tuning": tuning,
+            "faults": {
+                "active": self.faults is not None,
+                "fired": self.faults.fired if self.faults is not None else {},
+            },
+        }
 
     def _maybe_rewrite_mv(self, bound: BoundQuery) -> BoundQuery:
         """Rewrite a bound query onto an applied materialized view.
@@ -686,6 +907,16 @@ class CostIntelligentWarehouse:
         constraint: Constraint,
         tenant: str = "default",
     ) -> QueryRecord:
+        # Timestamps are assigned at *admission* (monotonic across the
+        # warehouse), but concurrent sessions interleave their finalize
+        # phases arbitrarily, so a later-admitted handle from one batch
+        # can reach the log before an earlier-admitted one from another.
+        # Clamp up to the last logged timestamp: the log stays
+        # append-ordered and no finalize ever dies on the ordering check
+        # (which would lose the record and fail a successful query).
+        tail = self.logs.tail(1)
+        if tail and timestamp < tail[0].timestamp:
+            timestamp = tail[0].timestamp
         columns: set[str] = set()
         filter_columns: set[str] = set()
         for table in bound.table_names:

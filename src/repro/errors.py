@@ -12,6 +12,29 @@ class ReproError(Exception):
     """Base class for all errors raised by this library."""
 
 
+class TransientError(ReproError):
+    """A failure that may succeed on retry (dependency blip, injected
+    fault, ...).  The resilience layer's :class:`~repro.core.resilience.
+    RetryPolicy` retries *only* subclasses of this marker: deterministic
+    user errors (:class:`BindError`, :class:`ParseError`, an infeasible
+    constraint) re-fail identically on every attempt and propagate
+    immediately instead of burning retry dollars."""
+
+
+def _restore_error(cls: type, detail: str, state: dict) -> Exception:
+    """Rebuild a repro error from its pickled state.
+
+    Errors with required keyword-only constructor arguments (e.g.
+    :class:`AdmissionDeniedError`'s ``tenant``) cannot use the default
+    ``cls(*args)`` exception reconstruction; this bypasses ``__init__``
+    and restores the already-formatted message plus the attribute dict.
+    """
+    error = cls.__new__(cls)
+    Exception.__init__(error, detail)
+    error.__dict__.update(state)
+    return error
+
+
 class CatalogError(ReproError):
     """Schema or metadata problem (unknown table/column, duplicate name...)."""
 
@@ -71,6 +94,52 @@ class ExecutionError(ReproError):
     """Local engine or distributed-simulation failure at run time."""
 
 
+class DeadlineExceededError(ReproError):
+    """A serving stage (or the whole request) ran past its deadline.
+
+    Carries the stage that tripped and the configured/elapsed seconds.
+    An ``optimize`` deadline is special-cased by the serving layer: it
+    falls back to degraded-mode planning instead of failing the query.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        stage: str | None = None,
+        deadline_s: float | None = None,
+        elapsed_s: float | None = None,
+    ) -> None:
+        super().__init__(message)
+        self.stage = stage
+        self.deadline_s = deadline_s
+        self.elapsed_s = elapsed_s
+
+
+class RetryExhaustedError(ReproError):
+    """A transient failure persisted through every allowed retry attempt.
+
+    Terminal (deliberately *not* a :class:`TransientError`: the budget
+    of attempts is spent).  Carries the stage, the attempt count, and a
+    picklable summary of the last underlying failure.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        stage: str | None = None,
+        attempts: int | None = None,
+        cause_type: str | None = None,
+        cause_message: str | None = None,
+    ) -> None:
+        super().__init__(message)
+        self.stage = stage
+        self.attempts = attempts
+        self.cause_type = cause_type
+        self.cause_message = cause_message
+
+
 class QueryFailedError(ReproError):
     """One submission failed inside the serving layer.
 
@@ -78,6 +147,12 @@ class QueryFailedError(ReproError):
     its position, a prefix of its SQL, and the underlying cause — so a
     ``submit_many`` over hundreds of queries reports *which* one broke
     instead of a bare subsystem error.
+
+    The cause chain is carried in picklable form (``cause_type`` /
+    ``cause_message`` strings plus the failing ``stage``) so handles can
+    cross process boundaries; :attr:`cause` additionally keeps the live
+    exception object in-process for the legacy ``submit()`` re-raise
+    contract, but is dropped on pickling.
     """
 
     def __init__(
@@ -87,6 +162,7 @@ class QueryFailedError(ReproError):
         index: int | None = None,
         sql: str | None = None,
         cause: BaseException | None = None,
+        stage: str | None = None,
     ) -> None:
         prefix = None
         if sql is not None:
@@ -99,9 +175,23 @@ class QueryFailedError(ReproError):
         self.index = index
         self.sql = sql
         self.sql_prefix = prefix
+        self.stage = stage
         self.cause = cause
+        self.cause_type = type(cause).__name__ if cause is not None else None
+        self.cause_message = str(cause) if cause is not None else None
         if cause is not None:
             self.__cause__ = cause
+
+    def __reduce__(self):
+        # The live cause may hold an unpicklable traceback/lock graph
+        # (and AdmissionDeniedError has required keyword arguments the
+        # default ``cls(*args)`` reconstruction cannot supply); pickle
+        # the formatted message and the attribute dict minus the live
+        # exception object.
+        state = {k: v for k, v in self.__dict__.items() if k != "cause"}
+        state["cause"] = None
+        detail = self.args[0] if self.args else ""
+        return (_restore_error, (type(self), detail, state))
 
 
 class AdmissionDeniedError(QueryFailedError):

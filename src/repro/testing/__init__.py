@@ -1,0 +1,25 @@
+"""Deterministic testing utilities (fault injection for chaos suites).
+
+Separate from :mod:`repro.core` so production modules never import test
+machinery; the warehouse only *accepts* an injected
+:class:`~repro.testing.faults.FaultPlan` through
+``warehouse.inject_faults``.
+"""
+
+from repro.testing.faults import (
+    FAULT_POINTS,
+    FaultDecision,
+    FaultPlan,
+    FaultSpec,
+    InjectedFault,
+    outage,
+)
+
+__all__ = [
+    "FAULT_POINTS",
+    "FaultDecision",
+    "FaultPlan",
+    "FaultSpec",
+    "InjectedFault",
+    "outage",
+]

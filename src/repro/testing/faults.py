@@ -1,0 +1,214 @@
+"""Deterministic fault injection: named fault points + seeded schedules.
+
+The resilience layer (:mod:`repro.core.resilience`) is only testable if
+failure is a *reproducible input*: the chaos suite must be able to
+replay "statsvc dies on its 3rd call, optimize sees a 2s latency spike
+on invocation 7" byte-for-byte.  A :class:`FaultPlan` provides that: for
+each named fault point, whether invocation *n* fails (and/or suffers a
+virtual latency spike) is a pure function of ``(seed, point, n)``, drawn
+from a per-point :func:`~repro.util.rng.derive_rng` stream.  Per-point
+invocation counters are atomic, so the *schedule at each point* is
+deterministic even when serving threads interleave arbitrarily — the
+chaos invariants (ordered finalize, exactly-once billing, typed-error-
+or-degraded outcomes) must hold for every interleaving anyway.
+
+Fault points (:data:`FAULT_POINTS`):
+
+- ``bind`` / ``optimize`` / ``simulate`` — the serving stages, guarded
+  by :class:`~repro.core.resilience.StageGuard`.
+- ``statsvc`` — the Statistics Service forecast refresh feeding
+  cost-aware retention (guarded by the statsvc circuit breaker).
+- ``tuning_apply`` — background-compute action execution (guarded by
+  the tuning circuit breaker).
+
+Latency is *virtual*: a spike charges the request/stage deadlines
+without sleeping, so chaos runs are fast and host-speed independent.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+from typing import Callable, Iterable
+
+from repro.errors import ReproError, TransientError
+from repro.util.rng import derive_rng
+
+#: Every named fault point the serving/tuning/statsvc paths expose.
+FAULT_POINTS = ("bind", "optimize", "simulate", "statsvc", "tuning_apply")
+
+
+class InjectedFault(TransientError):
+    """The default injected failure — transient, so retry policies see it.
+
+    Carries the fault point and the invocation index that fired, so
+    chaos assertions can trace every surfaced error back to the
+    schedule entry that caused it.
+    """
+
+    def __init__(self, message: str, *, point: str, invocation: int) -> None:
+        super().__init__(message)
+        self.point = point
+        self.invocation = invocation
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """Fault behavior at one point: error and/or latency, windowed.
+
+    ``error_rate`` / ``latency_rate`` are per-invocation firing
+    probabilities drawn from the plan's seeded stream (1.0 = always).
+    ``after`` skips the first *n* invocations (outage starts mid-
+    workload); ``limit`` caps how many times this spec fires (outage
+    ends).  ``error`` builds the injected exception from a message —
+    :class:`InjectedFault` by default (transient, retryable); pass e.g.
+    a ``BindError`` factory to model deterministic failures.
+    """
+
+    point: str
+    error_rate: float = 0.0
+    latency_rate: float = 0.0
+    latency_s: float = 0.0
+    error: Callable[[str], Exception] | None = None
+    after: int = 0
+    limit: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.point not in FAULT_POINTS:
+            raise ReproError(
+                f"unknown fault point {self.point!r}; known: {FAULT_POINTS}"
+            )
+        for name, rate in (
+            ("error_rate", self.error_rate),
+            ("latency_rate", self.latency_rate),
+        ):
+            if not 0.0 <= rate <= 1.0:
+                raise ReproError(f"{name} must be in [0, 1], got {rate}")
+        if self.latency_s < 0 or self.after < 0:
+            raise ReproError("latency_s and after must be non-negative")
+        if self.limit is not None and self.limit < 0:
+            raise ReproError(f"limit must be non-negative, got {self.limit}")
+
+
+@dataclass
+class FaultDecision:
+    """What the plan decided for one invocation of one point."""
+
+    point: str
+    invocation: int
+    error: Exception | None = None
+    latency_s: float = 0.0
+
+
+@dataclass
+class _PointState:
+    """Mutable per-point schedule state (counter + fired tallies)."""
+
+    invocations: int = 0
+    fired: dict[int, int] = field(default_factory=dict)  # spec index -> fires
+
+
+class FaultPlan:
+    """A seeded, deterministic fault schedule over the named points.
+
+    Whether invocation *n* of point *p* fires is decided by uniform
+    draws from ``derive_rng(seed, "faults", p, str(n), str(spec_index))``
+    — a pure function of the plan parameters, independent of thread
+    interleaving and of how many *other* points were exercised.
+    """
+
+    def __init__(self, specs: Iterable[FaultSpec], *, seed: int = 0) -> None:
+        self.specs = tuple(specs)
+        self.seed = seed
+        self._lock = threading.Lock()
+        self._by_point: dict[str, list[tuple[int, FaultSpec]]] = {}
+        for index, spec in enumerate(self.specs):
+            self._by_point.setdefault(spec.point, []).append((index, spec))
+        self._states: dict[str, _PointState] = {
+            point: _PointState() for point in self._by_point
+        }
+
+    # ------------------------------------------------------------------ #
+    def draw(self, point: str) -> FaultDecision | None:
+        """The decision for the next invocation of ``point`` (or None).
+
+        Atomically advances the point's invocation counter; the decision
+        for invocation *n* is the same in every run with this seed.
+        """
+        specs = self._by_point.get(point)
+        if specs is None:
+            return None
+        with self._lock:
+            state = self._states[point]
+            invocation = state.invocations
+            state.invocations += 1
+            error: Exception | None = None
+            latency = 0.0
+            for index, spec in specs:
+                if invocation < spec.after:
+                    continue
+                fired = state.fired.get(index, 0)
+                if spec.limit is not None and fired >= spec.limit:
+                    continue
+                rng = derive_rng(
+                    self.seed, "faults", point, str(invocation), str(index)
+                )
+                fires = False
+                if spec.error_rate and float(rng.random()) < spec.error_rate:
+                    fires = True
+                    if error is None:
+                        error = self._build_error(spec, point, invocation)
+                if spec.latency_rate and float(rng.random()) < spec.latency_rate:
+                    fires = True
+                    latency += spec.latency_s
+                if fires:
+                    state.fired[index] = fired + 1
+            if error is None and latency == 0.0:
+                return None
+            return FaultDecision(
+                point=point, invocation=invocation, error=error, latency_s=latency
+            )
+
+    @staticmethod
+    def _build_error(spec: FaultSpec, point: str, invocation: int) -> Exception:
+        message = f"injected fault at {point!r} (invocation {invocation})"
+        if spec.error is None:
+            return InjectedFault(message, point=point, invocation=invocation)
+        return spec.error(message)
+
+    # ------------------------------------------------------------------ #
+    @property
+    def fired(self) -> dict[str, int]:
+        """Total fired decisions per point (observability)."""
+        with self._lock:
+            return {
+                point: sum(state.fired.values())
+                for point, state in self._states.items()
+            }
+
+    @property
+    def invocations(self) -> dict[str, int]:
+        """Total invocations drawn per point."""
+        with self._lock:
+            return {
+                point: state.invocations for point, state in self._states.items()
+            }
+
+    def describe(self) -> str:
+        fired = self.fired
+        parts = [
+            f"{spec.point}(err={spec.error_rate}, lat={spec.latency_rate}"
+            f"x{spec.latency_s}s)"
+            for spec in self.specs
+        ]
+        summary = ", ".join(
+            f"{point}={count}" for point, count in sorted(fired.items())
+        )
+        return f"fault plan seed={self.seed}: {'; '.join(parts)} [fired: {summary}]"
+
+
+def outage(
+    point: str, *, after: int = 0, limit: int | None = None
+) -> FaultSpec:
+    """A hard outage spec: every invocation in the window fails."""
+    return FaultSpec(point=point, error_rate=1.0, after=after, limit=limit)

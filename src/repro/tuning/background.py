@@ -66,6 +66,14 @@ class BackgroundComputeService:
     database: Database | None = None
     catalog: Catalog | None = None
     ledger: list[LedgerEntry] = field(default_factory=list)
+    #: The ``tuning_apply`` fault-injection point: runs before any job
+    #: (apply or rollback) mutates state, so an injected failure models
+    #: background compute dying *before* the action landed — nothing is
+    #: half-applied and no ledger entry is written.  Wired by
+    #: :class:`~repro.tuning.service.TuningService` to the warehouse's
+    #: active :class:`~repro.testing.faults.FaultPlan`; ``None`` outside
+    #: chaos testing.
+    fault_hook: Callable[[], None] | None = None
 
     def __post_init__(self) -> None:
         if self.database is None and self.catalog is None:
@@ -78,8 +86,13 @@ class BackgroundComputeService:
         return sum(e.dollars for e in self.ledger)
 
     # ------------------------------------------------------------------ #
+    def _fire_fault(self) -> None:
+        if self.fault_hook is not None:
+            self.fault_hook()
+
     def apply_mv(self, candidate: MVCandidate, report: TuningReport) -> UndoAction:
         """Materialize an accepted MV (physically when data is present)."""
+        self._fire_fault()
         assert self.catalog is not None
         catalog = self.catalog
         database = self.database
@@ -141,6 +154,7 @@ class BackgroundComputeService:
         self, candidate: ReclusterCandidate, report: TuningReport
     ) -> UndoAction:
         """Physically re-sort the table (or update the overlay stats)."""
+        self._fire_fault()
         assert self.catalog is not None
         catalog = self.catalog
         database = self.database
@@ -186,6 +200,7 @@ class BackgroundComputeService:
     # ------------------------------------------------------------------ #
     def rollback(self, undo: UndoAction) -> None:
         """Execute an undo token and meter the reversal in the ledger."""
+        self._fire_fault()
         undo.run()
         self.ledger.append(
             LedgerEntry(

@@ -47,6 +47,7 @@ from dataclasses import dataclass, field
 from enum import Enum
 from typing import TYPE_CHECKING, ClassVar, Iterable
 
+from repro.core.resilience import CircuitBreaker
 from repro.errors import ReproError, TuningError, TuningStateError
 from repro.statsvc.logs import QueryLogStore, TenantLogView
 from repro.tuning.advisor import AdvisorProposals, AutoTuningAdvisor
@@ -277,6 +278,7 @@ class TuningService:
         whatif: WhatIfService | None = None,
         advisor: AutoTuningAdvisor | None = None,
         background: BackgroundComputeService | None = None,
+        breaker: CircuitBreaker | None = None,
     ) -> None:
         self.warehouse = warehouse
         self.policy = policy or TuningPolicy()
@@ -288,13 +290,25 @@ class TuningService:
             min_template_count=self.policy.min_forecast_observations,
         )
         self.background = background or BackgroundComputeService(
-            database=warehouse.database, catalog=warehouse.catalog
+            database=warehouse.database,
+            catalog=warehouse.catalog,
+            fault_hook=lambda: warehouse._fire_fault("tuning_apply"),
         )
         #: Full recommendation history, every cycle, every state.
         self.recommendations: list[Recommendation] = []
         #: The raw advisor output of the latest cycle (legacy shape).
         self.last_proposals: AdvisorProposals | None = None
         self.cycles_run = 0
+        #: Failure-domain observability: background cycles swallow
+        #: ``ReproError`` by design (tuning must never fail foreground
+        #: serving), but swallowed errors must not *vanish* — the last
+        #: one is kept here, and the consecutive-failure count feeds the
+        #: circuit breaker that stops a persistently failing tuner from
+        #: burning background dollars.  Surfaced by
+        #: ``warehouse.describe_health()``.
+        self.last_error: Exception | None = None
+        self.consecutive_failures = 0
+        self.breaker = breaker or CircuitBreaker("tuning")
         self._ids = itertools.count(1)
         self._last_cycle_log_len = 0
         self._last_cycle_clock: float | None = None
@@ -422,7 +436,8 @@ class TuningService:
                 continue
             try:
                 applied.append(self.apply(rec))
-            except ReproError:
+            except ReproError as exc:
+                self.last_error = exc
                 continue  # carried on rec.error, state FAILED
         return applied
 
@@ -486,23 +501,50 @@ class TuningService:
             )
         if not due:
             return None
-        # Background tuning must never fail foreground serving: any
-        # library error (bind/execution/catalog, not just TuningError)
-        # stays on the recommendation / is dropped, and the cadence
-        # counters advance so a poisoned cycle is not retried per query.
-        try:
-            recommendations = self.propose()
-        except ReproError:
+        if not self.breaker.allow():
+            # OPEN: a persistently failing tuner must stop burning
+            # background dollars.  The cadence advances so the skipped
+            # cycle is not re-attempted after every query; the breaker's
+            # call-counted cooldown re-probes after enough skipped
+            # cycles.
             self._last_cycle_log_len = len(self.warehouse.logs)
             self._last_cycle_clock = self.warehouse.clock
             return None
+        # Background tuning must never fail foreground serving: any
+        # library error (bind/execution/catalog, not just TuningError)
+        # stays on the recommendation / is dropped — but never silently:
+        # it is recorded on ``last_error`` and counted into the breaker.
+        # The cadence counters advance so a poisoned cycle is not
+        # retried per query.
+        try:
+            recommendations = self.propose()
+        except ReproError as exc:
+            self._last_cycle_log_len = len(self.warehouse.logs)
+            self._last_cycle_clock = self.warehouse.clock
+            self._note_cycle_failure(exc)
+            return None
+        cycle_error: Exception | None = None
         for rec in recommendations:
             if rec.accepted and self.policy.auto_apply_allows(rec.report):
                 try:
                     self.apply(rec)
-                except ReproError:
-                    continue  # carried on rec.error, state FAILED
+                except ReproError as exc:
+                    cycle_error = exc  # carried on rec.error, state FAILED
+                    continue
+        if cycle_error is not None:
+            self._note_cycle_failure(cycle_error)
+        else:
+            self._note_cycle_success()
         return recommendations
+
+    def _note_cycle_failure(self, exc: Exception) -> None:
+        self.last_error = exc
+        self.consecutive_failures += 1
+        self.breaker.record_failure()
+
+    def _note_cycle_success(self) -> None:
+        self.consecutive_failures = 0
+        self.breaker.record_success()
 
     # -- internals ------------------------------------------------------- #
     def _scoped_logs(self) -> "QueryLogStore | TenantLogView":

@@ -45,6 +45,14 @@ EXPECTED_ALL = [
     "RetentionPolicy",
     "LruPolicy",
     "CostAwarePolicy",
+    "ResiliencePolicy",
+    "RetryPolicy",
+    "CircuitBreaker",
+    "BreakerState",
+    "Deadline",
+    "TransientError",
+    "DeadlineExceededError",
+    "RetryExhaustedError",
     "CostEstimator",
     "HardwareCalibration",
     "DopPlanner",
@@ -237,6 +245,66 @@ def test_reset_cache_stats_zeroes_governance_counters(stats_warehouse):
     assert report["plan_cache"]["policy_evictions"] == 0
     # Budgets survive a stats reset (only counters are zeroed).
     assert stats_warehouse.admission.budget_for("analyst") is not None
+
+
+# --------------------------------------------------------------------- #
+# Resilience surface (PR 6)
+# --------------------------------------------------------------------- #
+def test_warehouse_constructor_resilience_keyword():
+    parameters = inspect.signature(CostIntelligentWarehouse).parameters
+    assert "resilience" in parameters
+    assert parameters["resilience"].default is None
+
+
+def test_resilience_policy_field_snapshot():
+    from repro import ResiliencePolicy, RetryPolicy
+
+    assert [f.name for f in ResiliencePolicy.__dataclass_fields__.values()] == [
+        "retry",
+        "request_deadline_s",
+        "stage_deadline_s",
+        "degraded_fallback",
+        "enabled",
+    ]
+    assert [f.name for f in RetryPolicy.__dataclass_fields__.values()] == [
+        "max_attempts",
+        "backoff_base_s",
+        "backoff_multiplier",
+        "jitter",
+        "seed",
+        "dollars_per_retry_s",
+    ]
+
+
+def test_describe_health_snapshot(stats_warehouse):
+    """describe_health() is the resilience observability surface: retry
+    and degraded counters, breaker states, and the tuning service's last
+    swallowed error."""
+    report = stats_warehouse.describe_health()
+    assert set(report) == {"resilience", "breakers", "tuning", "faults"}
+    assert set(report["breakers"]) == {"statsvc", "tuning"}
+    for block in report["breakers"].values():
+        assert set(block) == {"state", "consecutive_failures", "opens"}
+        assert block["state"] == "closed"
+    assert set(report["tuning"]) == {
+        "cycles_run",
+        "consecutive_failures",
+        "last_error",
+    }
+    assert report["tuning"]["last_error"] is None
+    assert report["faults"]["active"] is False
+    assert report["resilience"]["enabled"] is True
+    assert report["resilience"]["retries"] == 0
+    assert report["resilience"]["degraded_queries"] == 0
+
+
+def test_query_outcome_degraded_surface():
+    from repro import QueryOutcome
+
+    fields = {f.name for f in QueryOutcome.__dataclass_fields__.values()}
+    assert {"degraded", "degraded_mode"} <= fields
+    members = {name for name in dir(QueryHandle) if not name.startswith("_")}
+    assert "degraded" in members  # retries is a per-instance counter
 
 
 # --------------------------------------------------------------------- #

@@ -1,0 +1,161 @@
+"""Unit tests for the deterministic fault-injection harness (PR 6)."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.errors import BindError, ReproError, TransientError
+from repro.testing import (
+    FAULT_POINTS,
+    FaultPlan,
+    FaultSpec,
+    InjectedFault,
+    outage,
+)
+
+
+def drain(plan: FaultPlan, point: str, n: int) -> list:
+    return [plan.draw(point) for _ in range(n)]
+
+
+def test_same_seed_same_schedule():
+    def build():
+        return FaultPlan(
+            [FaultSpec(point="optimize", error_rate=0.3, latency_rate=0.2, latency_s=1.5)],
+            seed=7,
+        )
+
+    a = [
+        (d.invocation, type(d.error).__name__ if d.error else None, d.latency_s)
+        for d in drain(build(), "optimize", 50)
+        if d is not None
+    ]
+    b = [
+        (d.invocation, type(d.error).__name__ if d.error else None, d.latency_s)
+        for d in drain(build(), "optimize", 50)
+        if d is not None
+    ]
+    assert a == b
+    assert a  # a 30% rate over 50 draws fires at least once
+
+
+def test_different_seeds_differ():
+    def fires(seed):
+        plan = FaultPlan([FaultSpec(point="bind", error_rate=0.5)], seed=seed)
+        return [d.invocation for d in drain(plan, "bind", 40) if d is not None]
+
+    assert fires(1) != fires(2)
+
+
+def test_outage_window_after_and_limit():
+    plan = FaultPlan([outage("statsvc", after=2, limit=3)])
+    decisions = drain(plan, "statsvc", 10)
+    fired = [i for i, d in enumerate(decisions) if d is not None]
+    assert fired == [2, 3, 4]  # starts after 2 invocations, fires 3 times
+    assert plan.fired == {"statsvc": 3}
+    assert plan.invocations == {"statsvc": 10}
+
+
+def test_injected_fault_is_transient_and_traceable():
+    plan = FaultPlan([outage("simulate")])
+    decision = plan.draw("simulate")
+    assert decision is not None
+    assert isinstance(decision.error, InjectedFault)
+    assert isinstance(decision.error, TransientError)
+    assert decision.error.point == "simulate"
+    assert decision.error.invocation == 0
+
+
+def test_custom_error_factory_builds_deterministic_errors():
+    plan = FaultPlan([FaultSpec(point="bind", error_rate=1.0, error=BindError)])
+    decision = plan.draw("bind")
+    assert isinstance(decision.error, BindError)
+    assert not isinstance(decision.error, TransientError)
+
+
+def test_latency_only_spec_charges_without_error():
+    plan = FaultPlan(
+        [FaultSpec(point="optimize", latency_rate=1.0, latency_s=2.5)]
+    )
+    decision = plan.draw("optimize")
+    assert decision.error is None
+    assert decision.latency_s == 2.5
+
+
+def test_unknown_point_rejected_and_rates_validated():
+    with pytest.raises(ReproError):
+        FaultSpec(point="no-such-point", error_rate=1.0)
+    with pytest.raises(ReproError):
+        FaultSpec(point="bind", error_rate=1.5)
+    with pytest.raises(ReproError):
+        FaultSpec(point="bind", latency_s=-1.0)
+    with pytest.raises(ReproError):
+        FaultSpec(point="bind", limit=-1)
+
+
+def test_points_are_independent_streams():
+    """Exercising one point never perturbs another's schedule."""
+    plain = FaultPlan(
+        [
+            FaultSpec(point="optimize", error_rate=0.4),
+            FaultSpec(point="bind", error_rate=0.4),
+        ],
+        seed=3,
+    )
+    noisy = FaultPlan(
+        [
+            FaultSpec(point="optimize", error_rate=0.4),
+            FaultSpec(point="bind", error_rate=0.4),
+        ],
+        seed=3,
+    )
+    plain_fires = []
+    noisy_fires = []
+    for i in range(30):
+        noisy.draw("bind")  # interleaved traffic on another point
+        if plain.draw("optimize") is not None:
+            plain_fires.append(i)
+        if noisy.draw("optimize") is not None:
+            noisy_fires.append(i)
+    assert plain_fires == noisy_fires
+
+
+def test_concurrent_draws_cover_every_invocation_exactly_once():
+    plan = FaultPlan([FaultSpec(point="simulate", error_rate=0.5)], seed=9)
+    seen: list[int] = []
+    lock = threading.Lock()
+
+    def worker():
+        for _ in range(25):
+            decision = plan.draw("simulate")
+            if decision is not None:
+                with lock:
+                    seen.append(decision.invocation)
+
+    threads = [threading.Thread(target=worker) for _ in range(4)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    assert plan.invocations == {"simulate": 100}
+    assert len(seen) == len(set(seen))  # each invocation decided once
+    # The set of firing invocations equals the single-threaded schedule.
+    reference = FaultPlan([FaultSpec(point="simulate", error_rate=0.5)], seed=9)
+    expected = [
+        d.invocation for d in drain(reference, "simulate", 100) if d is not None
+    ]
+    assert sorted(seen) == expected
+
+
+def test_describe_mentions_points_and_fired_counts():
+    plan = FaultPlan([outage("tuning_apply", limit=1)], seed=5)
+    plan.draw("tuning_apply")
+    text = plan.describe()
+    assert "tuning_apply" in text
+    assert "seed=5" in text
+
+
+def test_fault_points_snapshot():
+    assert FAULT_POINTS == ("bind", "optimize", "simulate", "statsvc", "tuning_apply")
