@@ -80,6 +80,7 @@ if str(REPO_ROOT / "src") not in sys.path:
 
 from repro.core.service import QueryRequest  # noqa: E402
 from repro.core.bioptimizer import BiObjectiveOptimizer  # noqa: E402
+from repro.core.journal import WriteAheadJournal  # noqa: E402
 from repro.core.resilience import ResiliencePolicy  # noqa: E402
 from repro.core.warehouse import CostIntelligentWarehouse  # noqa: E402
 from repro.cost.estimator import CostEstimator  # noqa: E402
@@ -381,11 +382,10 @@ RESILIENT_CHUNKS = 6
 RESILIENT_OVERHEAD_CEILING = 0.05
 
 
-def resilient_traffic(names, *, chunks: int) -> list[list[str]]:
-    """Literal-varying chunks for the overhead A/B (fresh constants per
-    arrival; seeds disjoint from every other pool)."""
+def resilient_traffic(names, *, chunks: int, seed: int = 40_000) -> list[list[str]]:
+    """Literal-varying chunks for the overhead A/Bs (fresh constants per
+    arrival; each A/B's seed base is disjoint from every other pool)."""
     sequence: list[list[str]] = []
-    seed = 40_000
     for _ in range(chunks):
         chunk: list[str] = []
         for name in names:
@@ -467,6 +467,85 @@ def run_resilient(catalog, constraint) -> dict:
         "retries": health["retries"],
         "degraded_queries": health["degraded_queries"],
         "parity_mismatches": check_parity(choices["bare"], choices["hardened"]),
+    }
+
+
+#: Hard ceiling on the fault-free cost of durability: serving with a
+#: write-ahead journal (one redo record appended ahead of every log
+#: apply, periodic in-memory checkpoints) must stay under 5% median
+#: paired-chunk wall overhead vs the identical unjournaled warehouse.
+JOURNALED_OVERHEAD_CEILING = 0.05
+#: Checkpoint cadence for the journaled A/B — frequent enough that the
+#: measured overhead includes checkpoint construction, not just appends.
+JOURNALED_CHECKPOINT_EVERY = 32
+
+
+def run_journaled(catalog, constraint) -> dict:
+    """A/B fault-free serving with the write-ahead journal on vs off.
+
+    Identical literal-varying traffic through ``Session.submit`` on two
+    identical warehouses; the only difference is the attached
+    ``WriteAheadJournal`` (a ``QueryServed`` redo record appended before
+    every log apply, plus a checkpoint every
+    ``JOURNALED_CHECKPOINT_EVERY`` records).  Chunks are measured
+    interleaved in alternating order and compared pairwise, exactly as
+    in :func:`run_resilient`, so machine noise cancels within pairs and
+    the median over chunks resists scheduler spikes.
+    """
+    names = template_names()
+    chunks = resilient_traffic(names, chunks=RESILIENT_CHUNKS, seed=50_000)
+    journal = WriteAheadJournal(checkpoint_every=JOURNALED_CHECKPOINT_EVERY)
+    warehouses = {
+        "bare": CostIntelligentWarehouse(catalog=catalog, plan_cache_size=1024),
+        "journaled": CostIntelligentWarehouse(
+            catalog=catalog, plan_cache_size=1024, journal=journal
+        ),
+    }
+    sessions = {
+        mode: warehouse.session(tenant="bench", constraint=constraint)
+        for mode, warehouse in warehouses.items()
+    }
+    clocks = dict.fromkeys(warehouses, 0.0)
+
+    def submit(mode: str, sql: str):
+        outcome = sessions[mode].submit(
+            QueryRequest(sql=sql, at_time=clocks[mode], simulate=False)
+        ).result()
+        clocks[mode] += 60.0
+        return outcome
+
+    for mode in warehouses:
+        for name in names:
+            submit(mode, instantiate(name, seed=999))
+
+    walls: dict[str, list[float]] = {"bare": [], "journaled": []}
+    choices: dict[str, list] = {"bare": [], "journaled": []}
+    pairing = list(warehouses)
+    for index, chunk in enumerate(chunks):
+        ordering = pairing if index % 2 == 0 else pairing[::-1]
+        for mode in ordering:
+            start = time.perf_counter()
+            for sql in chunk:
+                choices[mode].append(submit(mode, sql).choice)
+            walls[mode].append(time.perf_counter() - start)
+
+    chunk_overheads = [
+        journaled / bare - 1.0
+        for bare, journaled in zip(walls["bare"], walls["journaled"])
+    ]
+    durability = warehouses["journaled"].describe_health()["durability"]
+    return {
+        "mode": "journaled",
+        "queries": sum(len(chunk) for chunk in chunks),
+        "chunks": RESILIENT_CHUNKS,
+        "bare_wall_s": sum(walls["bare"]),
+        "journaled_wall_s": sum(walls["journaled"]),
+        "chunk_overheads": chunk_overheads,
+        "overhead": statistics.median(chunk_overheads),
+        "overhead_ceiling": JOURNALED_OVERHEAD_CEILING,
+        "journal_records": durability["journal_records"],
+        "checkpoints": durability["last_checkpoint_id"],
+        "parity_mismatches": check_parity(choices["bare"], choices["journaled"]),
     }
 
 
@@ -608,12 +687,23 @@ def main(argv: list[str] | None = None) -> int:
         f"{resilient['parity_mismatches']} parity mismatches"
     )
 
+    journaled = run_journaled(catalog, sla_constraint(SLA_SECONDS))
+    print(
+        f"\njournaled pool (fault-free overhead A/B, {journaled['queries']} "
+        f"submits over {journaled['chunks']} paired chunks): median overhead "
+        f"{journaled['overhead']:+.1%} (ceiling "
+        f"{JOURNALED_OVERHEAD_CEILING:.0%}), {journaled['journal_records']} "
+        f"journal records, {journaled['checkpoints']} checkpoints, "
+        f"{journaled['parity_mismatches']} parity mismatches"
+    )
+
     total_mismatches = (
         mismatches
         + lv_mismatches
         + param_mismatches
         + governed["parity_mismatches"]
         + resilient["parity_mismatches"]
+        + journaled["parity_mismatches"]
     )
     report = {
         "benchmark": "optimizer_throughput",
@@ -631,6 +721,7 @@ def main(argv: list[str] | None = None) -> int:
         "parameterized_speedup_wall": param_speedup,
         "governed": governed,
         "resilient": resilient,
+        "journaled": journaled,
         "parity_mismatches": total_mismatches,
     }
     Path(args.output).write_text(json.dumps(report, indent=2) + "\n")
@@ -670,6 +761,21 @@ def main(argv: list[str] | None = None) -> int:
             print(
                 f"FAIL: resilient serving overhead {resilient['overhead']:+.1%} "
                 f">= {RESILIENT_OVERHEAD_CEILING:.0%} ceiling"
+            )
+            return 1
+        # Durability must actually journal (a silently detached journal
+        # would gate nothing) and stay near-free in fault-free serving.
+        if not journaled["journal_records"] or not journaled["checkpoints"]:
+            print(
+                "FAIL: journaled A/B recorded "
+                f"{journaled['journal_records']} records / "
+                f"{journaled['checkpoints']} checkpoints"
+            )
+            return 1
+        if journaled["overhead"] >= JOURNALED_OVERHEAD_CEILING:
+            print(
+                f"FAIL: journaled serving overhead {journaled['overhead']:+.1%} "
+                f">= {JOURNALED_OVERHEAD_CEILING:.0%} ceiling"
             )
             return 1
     if args.sf < 100.0 and not args.no_assert:

@@ -56,9 +56,47 @@ Failures are a deterministic, testable input: a seeded
 drives the chaos suite, and ``warehouse.describe_health()`` reports
 breaker states, retry/degraded counters, and the tuning service's last
 swallowed error.
+
+Crash consistency lives in :mod:`repro.core.journal` and
+:mod:`repro.core.recovery`.  With a :class:`WriteAheadJournal` attached
+(``CostIntelligentWarehouse(journal=...)``), every authoritative state
+transition — a served query's log append plus its billing delta, each
+admission verdict, each retry charge, and every tuning-lifecycle edge —
+is journaled *before* it is applied in memory, with periodic inline
+checkpoints.  Billing accumulates in integral dyadic ledger units
+(:data:`~repro.core.journal.LEDGER_SCALE` per dollar), so a replay
+reproduces live totals to the last bit.  Tuning applies are a
+two-record protocol: a ``TuningIntent`` carrying a declarative,
+picklable :class:`~repro.core.journal.UndoSnapshot` (captured before
+the catalog mutates) and a ``TuningCommit`` after; a crash between the
+two leaves the apply *in doubt*, and
+``CostIntelligentWarehouse.recover(journal, database=...)`` — which
+restores the latest checkpoint, replays the tail in LSN order, and
+resolves in-doubt records (forward if the commit landed, back via the
+journaled snapshot otherwise) — guarantees no recommendation is ever
+left ``APPLYING``.  The catalog/database is durable storage shared
+with the crashed process; recovery rebuilds warehouse memory over the
+*same* objects and never redoes storage mutations.  The kill-point
+harness (:func:`~repro.testing.faults.kill` at the
+:data:`~repro.testing.faults.CRASH_POINTS` record boundaries) drives
+the crash-recovery chaos suite; ``describe_health()`` carries a
+``durability`` block (journal length, last checkpoint, records
+replayed, in-doubt resolutions).
 """
 
 from repro.core.bioptimizer import BiObjectiveOptimizer, PlanChoice
+from repro.core.journal import (
+    LEDGER_SCALE,
+    Checkpoint,
+    CheckpointState,
+    DurableRecommendation,
+    JournalEntry,
+    UndoSnapshot,
+    WriteAheadJournal,
+    from_ledger_units,
+    to_ledger_units,
+)
+from repro.core.recovery import RecoveryReport, recover_warehouse
 from repro.core.governance import (
     AdmissionController,
     AdmissionVerdict,
@@ -101,6 +139,17 @@ __all__ = [
     "TemplateFrequencyProvider",
     "TenantBudget",
     "make_retention_policy",
+    "LEDGER_SCALE",
+    "Checkpoint",
+    "CheckpointState",
+    "DurableRecommendation",
+    "JournalEntry",
+    "UndoSnapshot",
+    "WriteAheadJournal",
+    "from_ledger_units",
+    "to_ledger_units",
+    "RecoveryReport",
+    "recover_warehouse",
     "BreakerState",
     "CircuitBreaker",
     "Deadline",

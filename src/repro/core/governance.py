@@ -537,6 +537,23 @@ class AdmissionController:
         with self._lock:
             return {tenant: dict(counts) for tenant, counts in self._verdicts.items()}
 
+    def restore_verdict(self, tenant: str, verdict: str) -> None:
+        """Re-count one journaled verdict during crash-recovery replay
+        (no budget check runs — the decision already happened)."""
+        with self._lock:
+            counts = self._verdicts.setdefault(tenant, {})
+            counts[verdict] = counts.get(verdict, 0) + 1
+
+    def restore_counts(
+        self, counts: "Mapping[str, Mapping[str, int]]"
+    ) -> None:
+        """Replace the verdict counters wholesale from a recovery
+        checkpoint."""
+        with self._lock:
+            self._verdicts = {
+                tenant: dict(per_tenant) for tenant, per_tenant in counts.items()
+            }
+
     def reset_stats(self) -> None:
         with self._lock:
             self._verdicts.clear()

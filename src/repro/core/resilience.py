@@ -295,6 +295,15 @@ class ResilienceStats:
                 "degraded_queries": self.degraded_queries,
             }
 
+    def reset(self) -> None:
+        """Zero every counter (benchmark warmup resets, alongside
+        ``warehouse.reset_cache_stats()``)."""
+        with self._lock:
+            self.retries = 0
+            self.retry_dollars = 0.0
+            self.deadline_hits = 0
+            self.degraded_queries = 0
+
 
 class StageGuard:
     """Applies faults, deadlines, and retries around one request's stages.

@@ -40,6 +40,7 @@ from enum import Enum
 from typing import TYPE_CHECKING, Iterable, Mapping
 
 from repro.core.governance import AdmissionVerdict
+from repro.core.journal import AdmissionDecision as JournalAdmissionDecision
 from repro.dop.constraints import Constraint
 from repro.engine.local_executor import LocalExecutor
 from repro.errors import DeadlineExceededError, QueryFailedError, ReproError
@@ -289,7 +290,6 @@ class QueryHandle:
 # --------------------------------------------------------------------- #
 # Per-tenant billing
 # --------------------------------------------------------------------- #
-@dataclass
 class TenantBill:
     """Running per-tenant spend, rolled up into warehouse billing.
 
@@ -298,40 +298,118 @@ class TenantBill:
     report foreground vs background spend per tenant; the
     :class:`~repro.tuning.service.TuningService` attributes each applied
     action's cost to the tenants whose traffic motivated it.
+
+    Dollar balances accumulate internally in **integral ledger units**
+    (:data:`~repro.core.journal.LEDGER_SCALE` units per dollar — a
+    power of two, so each charge's conversion is exact and accumulation
+    is order-independent).  Floats drift; a crash-recovery replay must
+    reproduce live totals *to the last bit*, and integer sums do.  The
+    public ``dollars`` / ``background_dollars`` / ``retry_dollars``
+    views stay floats.
     """
 
-    tenant: str
-    queries: int = 0
-    dollars: float = 0.0
-    machine_seconds: float = 0.0
-    background_dollars: float = 0.0
-    background_actions: int = 0
-    #: Modeled compute burned by resilience retries (each backoff window
-    #: priced by the RetryPolicy).  Part of :attr:`total_dollars`, so a
-    #: tenant whose queries keep retrying runs down its admission budget
-    #: — retries are not free.
-    retry_dollars: float = 0.0
-    retries: int = 0
+    def __init__(self, tenant: str) -> None:
+        self.tenant = tenant
+        self.queries = 0
+        self.machine_seconds = 0.0
+        self.background_actions = 0
+        self.retries = 0
+        self._dollars_units = 0
+        self._background_units = 0
+        self._retry_units = 0
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"TenantBill(tenant={self.tenant!r}, queries={self.queries}, "
+            f"dollars={self.dollars:.6f}, total={self.total_dollars:.6f})"
+        )
 
     def charge(self, record: "QueryRecord") -> None:
+        from repro.core.journal import to_ledger_units
+
         self.queries += 1
-        self.dollars += record.dollars
+        self._dollars_units += to_ledger_units(record.dollars)
         self.machine_seconds += record.machine_seconds
 
     def charge_background(self, dollars: float) -> None:
         """Meter one background tuning apply/rollback against this tenant."""
+        from repro.core.journal import to_ledger_units
+
         self.background_actions += 1
-        self.background_dollars += dollars
+        self._background_units += to_ledger_units(dollars)
 
     def charge_retry(self, dollars: float) -> None:
         """Meter one retry attempt's modeled compute against this tenant."""
+        from repro.core.journal import to_ledger_units
+
         self.retries += 1
-        self.retry_dollars += dollars
+        self._retry_units += to_ledger_units(dollars)
+
+    @property
+    def dollars(self) -> float:
+        """Serving spend (sum of served records' dollars)."""
+        from repro.core.journal import from_ledger_units
+
+        return from_ledger_units(self._dollars_units)
+
+    @property
+    def background_dollars(self) -> float:
+        from repro.core.journal import from_ledger_units
+
+        return from_ledger_units(self._background_units)
+
+    @property
+    def retry_dollars(self) -> float:
+        from repro.core.journal import from_ledger_units
+
+        return from_ledger_units(self._retry_units)
 
     @property
     def total_dollars(self) -> float:
         """Serving plus background plus retry spend."""
-        return self.dollars + self.background_dollars + self.retry_dollars
+        from repro.core.journal import from_ledger_units
+
+        return from_ledger_units(
+            self._dollars_units + self._background_units + self._retry_units
+        )
+
+    # -- durability ----------------------------------------------------- #
+    def ledger_snapshot(self) -> tuple:
+        """The bill's exact state as a plain tuple (checkpointing, and
+        bit-equality assertions in the recovery tests)."""
+        return (
+            self.tenant,
+            self.queries,
+            self._dollars_units,
+            self.machine_seconds,
+            self._background_units,
+            self.background_actions,
+            self._retry_units,
+            self.retries,
+        )
+
+    @classmethod
+    def from_ledger_snapshot(cls, snapshot: tuple) -> "TenantBill":
+        """Rebuild a bill from :meth:`ledger_snapshot` output."""
+        (
+            tenant,
+            queries,
+            dollars_units,
+            machine_seconds,
+            background_units,
+            background_actions,
+            retry_units,
+            retries,
+        ) = snapshot
+        bill = cls(tenant)
+        bill.queries = queries
+        bill._dollars_units = dollars_units
+        bill.machine_seconds = machine_seconds
+        bill._background_units = background_units
+        bill.background_actions = background_actions
+        bill._retry_units = retry_units
+        bill.retries = retries
+        return bill
 
 
 # --------------------------------------------------------------------- #
@@ -531,6 +609,13 @@ class Session:
                         defer_ok=defer_ok,
                         reserved_dollars=reserved.get(tenant, 0.0),
                     )
+                    # Verdict counters are authoritative state (budget
+                    # enforcement history): journal every decision.  For
+                    # a DENY this is the *only* record the query leaves
+                    # — no billing, no log entry.
+                    warehouse._journal_append(
+                        JournalAdmissionDecision(tenant=tenant, verdict=verdict.value)
+                    )
                     handle.admission = verdict
                     if verdict is AdmissionVerdict.DENY:
                         handle._deny(
@@ -672,6 +757,9 @@ class Session:
             )
             warehouse._account(record)
             warehouse._remember_template(request.template, staged.bound)
+        # Outside the serving lock (checkpoint re-acquires it): roll a
+        # checkpoint when the journal's interval policy says so.
+        warehouse._maybe_checkpoint()
         handle._complete(
             QueryOutcome(
                 sql=request.sql,

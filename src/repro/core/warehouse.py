@@ -46,7 +46,21 @@ from repro.core.governance import (
     make_retention_policy,
     rank_by_forecast,
 )
+from repro.core.journal import (
+    Checkpoint,
+    CheckpointState,
+    DurableRecommendation,
+    QueryServed,
+    RetryCharge,
+    RollbackCommit,
+    RollbackIntent,
+    TuningCommit,
+    TuningFailed,
+    TuningIntent,
+    WriteAheadJournal,
+)
 from repro.core.plan_cache import BindingCache, PlanCache, SkeletonCache
+from repro.core.recovery import RecoveryReport, recover_warehouse
 from repro.core.resilience import (
     CircuitBreaker,
     ResiliencePolicy,
@@ -106,6 +120,7 @@ class CostIntelligentWarehouse:
         retention_policy: "str | Callable[[], RetentionPolicy]" = "lru",
         tenant_budgets: "Mapping[str, TenantBudget | float] | None" = None,
         resilience: ResiliencePolicy | None = None,
+        journal: WriteAheadJournal | None = None,
     ) -> None:
         if database is None and catalog is None:
             raise ReproError("provide a Database (with data) or a Catalog (stats-only)")
@@ -127,6 +142,26 @@ class CostIntelligentWarehouse:
         self.clock = 0.0
         #: Per-tenant spend roll-up; ``billed_dollars`` totals it.
         self.billing: dict[str, TenantBill] = {}
+        #: Crash durability (see :mod:`repro.core.journal`): when a
+        #: :class:`~repro.core.journal.WriteAheadJournal` is attached,
+        #: every authoritative state transition (log append + billing
+        #: delta, admission verdict, retry charge, tuning lifecycle
+        #: edge) is journaled *before* it is applied in memory, and
+        #: :meth:`recover` rebuilds a bit-identical warehouse over the
+        #: surviving catalog/database after a crash.  ``None`` (the
+        #: default) is the journal-free fast path, byte for byte.
+        self.journal = journal
+        #: Highest journal LSN whose effects are reflected in memory —
+        #: the replay-idempotence watermark (see
+        #: :func:`repro.core.recovery.apply_entry`).
+        self._applied_lsn = 0
+        #: Journal-derived recommendation lifecycle bookkeeping, by
+        #: recommendation id (kept identically by live appends and by
+        #: replay; recovery resolves any record left in doubt).
+        self._durable_tuning: dict[int, DurableRecommendation] = {}
+        #: The :class:`~repro.core.recovery.RecoveryReport` of the pass
+        #: that built this warehouse, when it came from :meth:`recover`.
+        self.last_recovery: RecoveryReport | None = None
         #: Orders admission (timestamps) and finalization (log append,
         #: billing, template bookkeeping) under concurrent serving.
         self._serving_lock = threading.Lock()
@@ -528,7 +563,14 @@ class CostIntelligentWarehouse:
         ``plan`` is a :class:`~repro.testing.faults.FaultPlan`; the five
         named fault points (``bind``, ``optimize``, ``simulate``,
         ``statsvc``, ``tuning_apply``) consult it live, so a plan can be
-        swapped mid-workload to model an outage starting or ending.
+        swapped mid-workload to model an outage starting or ending.  The
+        three *crash* points (``crash_pre_write``, ``crash_post_write``,
+        ``crash_pre_commit`` — see
+        :data:`~repro.testing.faults.CRASH_POINTS`) consult it too: they
+        sever the process at journal-record boundaries for the
+        kill-point recovery harness, raising
+        :class:`~repro.testing.faults.SimulatedCrashError` (a
+        ``BaseException`` no serving-layer handler swallows).
         """
         self.faults = plan
 
@@ -575,14 +617,175 @@ class CostIntelligentWarehouse:
         )
 
     def _charge_retry(self, tenant: str, dollars: float) -> None:
-        """Meter one retry's modeled compute into the tenant's bill."""
+        """Meter one retry's modeled compute into the tenant's bill
+        (write-ahead: the charge is journaled before it lands)."""
         if dollars <= 0.0:
             return
         with self._serving_lock:
-            bill = self.billing.get(tenant)
-            if bill is None:
-                bill = self.billing[tenant] = TenantBill(tenant)
-            bill.charge_retry(dollars)
+            self._journal_append(RetryCharge(tenant=tenant, dollars=dollars))
+            self._bill_for(tenant).charge_retry(dollars)
+
+    # ------------------------------------------------------------------ #
+    # Durability: write-ahead journal + checkpoint/restore
+    # ------------------------------------------------------------------ #
+    def _bill_for(self, tenant: str) -> TenantBill:
+        """The tenant's bill, created on first charge."""
+        bill = self.billing.get(tenant)
+        if bill is None:
+            bill = self.billing[tenant] = TenantBill(tenant)
+        return bill
+
+    def _journal_append(self, record) -> None:
+        """Write-ahead append: the record lands in the journal *before*
+        the in-memory state it describes mutates.
+
+        No-op without an attached journal.  The two crash fault points
+        bracketing the append (``crash_pre_write`` /
+        ``crash_post_write``) are where the kill-point recovery harness
+        severs the process: before the point the transition never
+        happened; after it, replay redoes it exactly once.
+        """
+        journal = self.journal
+        if journal is None:
+            return
+        self._fire_fault("crash_pre_write")
+        entry = journal.append(record)
+        self._note_durable(record)
+        self._applied_lsn = entry.lsn
+        self._fire_fault("crash_post_write")
+
+    def _note_durable(self, record) -> None:
+        """Fold one journal record into the durable tuning bookkeeping.
+
+        Called on every live append *and* on every replayed record, so
+        the live process and a recovered one agree on which
+        recommendations committed and which are in doubt.
+        """
+        if isinstance(record, TuningIntent):
+            self._durable_tuning[record.rec_id] = DurableRecommendation(
+                rec_id=record.rec_id,
+                name=record.name,
+                kind=record.kind,
+                state="applying",
+                undo=record.undo,
+                tenant_shares=record.tenant_shares,
+            )
+            return
+        durable = (
+            self._durable_tuning.get(record.rec_id)
+            if isinstance(
+                record, (TuningCommit, TuningFailed, RollbackIntent, RollbackCommit)
+            )
+            else None
+        )
+        if isinstance(record, TuningCommit):
+            if durable is None:
+                durable = self._durable_tuning[record.rec_id] = (
+                    DurableRecommendation(
+                        rec_id=record.rec_id,
+                        name=record.name,
+                        kind=record.kind,
+                        state="applied",
+                    )
+                )
+            # Keep the apply-time undo snapshot on the committed record:
+            # a later rollback (live or crash-resolved) needs it.
+            durable.state = "applied"
+            durable.dollars = record.dollars
+            durable.tenant_shares = record.tenant_shares
+            durable.candidate = record.candidate
+            durable.physical = record.physical
+        elif isinstance(record, TuningFailed) and durable is not None:
+            durable.state = "failed"
+        elif isinstance(record, RollbackIntent) and durable is not None:
+            durable.state = "rolling_back"
+            if record.undo is not None:
+                durable.undo = record.undo
+            durable.dollars = record.dollars
+            durable.tenant_shares = record.tenant_shares
+        elif isinstance(record, RollbackCommit) and durable is not None:
+            durable.state = "rolled_back"
+            durable.dollars = record.dollars
+
+    def checkpoint(self) -> None:
+        """Write a :class:`~repro.core.journal.Checkpoint` record
+        capturing the warehouse's full journaled state, so recovery
+        replays only the records after it.  Taken under the serving
+        lock: the snapshot is consistent with no finalize in flight.
+        """
+        journal = self.journal
+        if journal is None:
+            raise ReproError("checkpoint() needs an attached journal")
+        with self._serving_lock:
+            state = self._checkpoint_state()
+            entry = journal.append(
+                Checkpoint(checkpoint_id=journal.next_checkpoint_id(), state=state)
+            )
+            self._applied_lsn = entry.lsn
+
+    def _checkpoint_state(self) -> CheckpointState:
+        ledger: tuple = ()
+        next_rec_id = 1
+        if self._tuning is not None:
+            ledger = tuple(self._tuning.background.ledger)
+            next_rec_id = self._tuning._next_id
+        return CheckpointState(
+            clock=self.clock,
+            records=tuple(self.logs),
+            bills=tuple(
+                bill.ledger_snapshot()
+                for _, bill in sorted(self.billing.items())
+            ),
+            verdicts=tuple(
+                (tenant, tuple(sorted(counts.items())))
+                for tenant, counts in sorted(
+                    self.admission.verdict_counts.items()
+                )
+            ),
+            applied_mvs=tuple(self._applied_mvs.values()),
+            durable_tuning=tuple(
+                durable.copy() for durable in self._durable_tuning.values()
+            ),
+            ledger=ledger,
+            next_rec_id=next_rec_id,
+        )
+
+    def _maybe_checkpoint(self) -> None:
+        """Roll a checkpoint when the journal's interval policy says so
+        (called by the serving layer after each finalize, outside the
+        serving lock)."""
+        journal = self.journal
+        if journal is None or journal.checkpoint_every is None:
+            return
+        if journal.records_since_checkpoint >= journal.checkpoint_every:
+            self.checkpoint()
+
+    @classmethod
+    def recover(
+        cls,
+        journal: WriteAheadJournal,
+        database: Database | None = None,
+        catalog: Catalog | None = None,
+        **kwargs,
+    ) -> "CostIntelligentWarehouse":
+        """Rebuild a warehouse from ``journal`` after a crash.
+
+        ``database`` / ``catalog`` must be the *same* durable objects
+        the crashed process was serving over (storage survives a
+        process crash; only warehouse memory dies).  Construction
+        kwargs should match the crashed warehouse's.  Restores the
+        latest checkpoint, replays the journal tail, resolves in-doubt
+        tuning applies (forward if committed, back via the journaled
+        undo snapshot otherwise), then attaches the journal and writes
+        a post-recovery checkpoint so a crash during a later replay
+        never re-reads this one's work.
+        """
+        warehouse = cls(database, catalog, **kwargs)
+        report = recover_warehouse(warehouse, journal)
+        warehouse.journal = journal
+        warehouse.last_recovery = report
+        warehouse.checkpoint()
+        return warehouse
 
     def describe_health(self) -> dict:
         """Failure-domain observability, alongside :meth:`describe_caches`.
@@ -619,8 +822,29 @@ class CostIntelligentWarehouse:
                 "consecutive_failures": 0,
                 "opens": 0,
             }
+        journal = self.journal
+        recovery = self.last_recovery
+        durability = {
+            "journaled": journal is not None,
+            "journal_records": len(journal) if journal is not None else 0,
+            "last_checkpoint_id": (
+                journal.last_checkpoint_id if journal is not None else None
+            ),
+            "records_since_checkpoint": (
+                journal.records_since_checkpoint if journal is not None else 0
+            ),
+            "recovered": recovery is not None,
+            "records_replayed": (
+                recovery.records_replayed if recovery is not None else 0
+            ),
+            "in_doubt_forward": (
+                recovery.in_doubt_forward if recovery is not None else 0
+            ),
+            "in_doubt_back": recovery.in_doubt_back if recovery is not None else 0,
+        }
         return {
             "resilience": resilience,
+            "durability": durability,
             "breakers": {
                 "statsvc": self.statsvc_breaker.snapshot(),
                 "tuning": tuning_breaker,
@@ -733,10 +957,7 @@ class CostIntelligentWarehouse:
 
     def _account(self, record: QueryRecord) -> None:
         """Roll one served query into the tenant's running bill."""
-        bill = self.billing.get(record.tenant)
-        if bill is None:
-            bill = self.billing[record.tenant] = TenantBill(record.tenant)
-        bill.charge(record)
+        self._bill_for(record.tenant).charge(record)
 
     @property
     def billed_dollars(self) -> float:
@@ -770,9 +991,9 @@ class CostIntelligentWarehouse:
         return "billing by tenant:\n" + "\n".join(lines) + total
 
     def reset_cache_stats(self) -> None:
-        """Zero all cache, optimizer, retention-policy, and admission
-        counters without dropping entries or budgets (benchmark warmup:
-        report steady-state rates only)."""
+        """Zero all cache, optimizer, retention-policy, admission, and
+        resilience counters without dropping entries or budgets
+        (benchmark warmup: report steady-state rates only)."""
         for cache in (self.plan_cache, self.skeleton_cache, self.binding_cache):
             if cache is not None:
                 cache.reset_stats()
@@ -780,6 +1001,10 @@ class CostIntelligentWarehouse:
             self.estimator.models.cache.stats.reset()
         self.optimizer.reset_counters()
         self.admission.reset_stats()
+        # Retry / deadline / degraded tallies are warmup noise too: a
+        # benchmark that resets cache counters but keeps phantom retries
+        # reports steady-state hit rates against warmup failures.
+        self.resilience_stats.reset()
 
     def describe_caches(self) -> dict[str, dict]:
         """Hit-rate and governance observability across serving caches.
@@ -907,6 +1132,32 @@ class CostIntelligentWarehouse:
         constraint: Constraint,
         tenant: str = "default",
     ) -> QueryRecord:
+        """Build, journal, and apply one served query's log record.
+
+        Write-ahead: the :class:`~repro.core.journal.QueryServed` record
+        (which carries the billing delta) is journaled *before* the log
+        append, so a crash between the two is redone by replay and a
+        crash before the journal write leaves no trace (the consumed
+        query id is re-issued after recovery).
+        """
+        record = self._build_record(
+            sql, bound, template, timestamp, choice, sim, constraint, tenant
+        )
+        self._journal_append(QueryServed(record=record))
+        self._apply_served(record)
+        return record
+
+    def _build_record(
+        self,
+        sql: str,
+        bound: BoundQuery,
+        template: str,
+        timestamp: float,
+        choice: PlanChoice,
+        sim: SimResult | None,
+        constraint: Constraint,
+        tenant: str = "default",
+    ) -> QueryRecord:
         # Timestamps are assigned at *admission* (monotonic across the
         # warehouse), but concurrent sessions interleave their finalize
         # phases arbitrarily, so a later-admitted handle from one batch
@@ -961,7 +1212,15 @@ class CostIntelligentWarehouse:
             sla_seconds=constraint.latency_sla,
             tenant=tenant,
         )
+        return record
+
+    def _apply_served(self, record: QueryRecord) -> None:
+        """Apply a (journaled) served-query record to warehouse memory:
+        append it to the Statistics Service log and register its
+        template key with the frequency provider.  Shared verbatim by
+        live serving and recovery replay."""
         self.logs.append(record)
+        template = record.template
         if self._governed and template.rpartition(".")[2] != "adhoc":
             # Teach the frequency provider which literal-free template
             # key this logged family instantiates, so forecast rates can
@@ -972,8 +1231,9 @@ class CostIntelligentWarehouse:
             # combined arrival rate would let never-reused entries
             # outscore genuinely recurring templates.  Unregistered keys
             # score zero — exactly right for one-offs.
-            self.frequency.note_template(template, parameterize_sql(sql).template_key)
-        return record
+            self.frequency.note_template(
+                template, parameterize_sql(record.sql).template_key
+            )
 
     # ------------------------------------------------------------------ #
     # Background auto-tuning

@@ -225,6 +225,21 @@ class AdmissionDeniedError(QueryFailedError):
         self.budget_dollars = budget_dollars
 
 
+class DurabilityError(ReproError):
+    """Base class for write-ahead journal / crash-recovery failures."""
+
+
+class JournalError(DurabilityError):
+    """The write-ahead journal rejected an operation (unknown record
+    type, appending to a closed journal, a corrupt serialized file)."""
+
+
+class RecoveryError(DurabilityError):
+    """Crash recovery could not restore a consistent warehouse (replay
+    onto a non-fresh warehouse, a journal/catalog mismatch, an in-doubt
+    recommendation whose undo snapshot is unusable)."""
+
+
 class TuningError(ReproError):
     """Auto-tuning / what-if service failure."""
 

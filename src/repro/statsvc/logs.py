@@ -60,6 +60,29 @@ class QueryLogStore:
             )
         self._records.append(record)
 
+    @property
+    def last_query_id(self) -> int:
+        """The id of the newest record (0 when empty)."""
+        return self._records[-1].query_id if self._records else 0
+
+    def restore(self, records: Iterable[QueryRecord]) -> None:
+        """Replace the log wholesale from a recovery checkpoint.
+
+        Crash-recovery only (:mod:`repro.core.recovery`): the records
+        come from a checkpoint of this same store, so append order and
+        id assignment are already consistent.  Re-seeds the id counter
+        so post-recovery serving continues gap-free.
+        """
+        self._records = list(records)
+        self.restore_ids()
+
+    def restore_ids(self) -> None:
+        """Re-seed the query-id counter to follow the newest record —
+        ids stay sequential and gap-free across a crash (an id handed
+        out by the dead process for a never-journaled record is simply
+        re-issued)."""
+        self._ids = itertools.count(self.last_query_id + 1)
+
     def __len__(self) -> int:
         return len(self._records)
 

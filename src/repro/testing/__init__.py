@@ -7,19 +7,27 @@ machinery; the warehouse only *accepts* an injected
 """
 
 from repro.testing.faults import (
+    CRASH_POINTS,
     FAULT_POINTS,
     FaultDecision,
     FaultPlan,
     FaultSpec,
     InjectedFault,
+    SimulatedCrashError,
+    crash_probes,
+    kill,
     outage,
 )
 
 __all__ = [
+    "CRASH_POINTS",
     "FAULT_POINTS",
     "FaultDecision",
     "FaultPlan",
     "FaultSpec",
     "InjectedFault",
+    "SimulatedCrashError",
+    "crash_probes",
+    "kill",
     "outage",
 ]

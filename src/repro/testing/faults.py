@@ -21,6 +21,22 @@ Fault points (:data:`FAULT_POINTS`):
 - ``tuning_apply`` — background-compute action execution (guarded by
   the tuning circuit breaker).
 
+Crash points (:data:`CRASH_POINTS`) model *process death* at the
+write-ahead-journal record boundaries (see :mod:`repro.core.journal`):
+
+- ``crash_pre_write`` — before a journal record is appended (nothing
+  durable, nothing applied);
+- ``crash_post_write`` — after the append but before the in-memory
+  state mutation it describes (durable, not applied — redo replays it);
+- ``crash_pre_commit`` — a tuning apply/rollback died after mutating
+  the catalog but before its commit record landed (the in-doubt window
+  recovery must resolve via the journaled undo snapshot).
+
+A firing crash point raises :class:`SimulatedCrashError`, which derives
+from ``BaseException`` so no serving-layer ``except Exception`` handler
+can swallow it — exactly like ``SIGKILL``, it unwinds straight out to
+the test driver.  Use :func:`kill` to build a one-shot crash spec.
+
 Latency is *virtual*: a spike charges the request/stage deadlines
 without sleeping, so chaos runs are fast and host-speed independent.
 """
@@ -36,6 +52,29 @@ from repro.util.rng import derive_rng
 
 #: Every named fault point the serving/tuning/statsvc paths expose.
 FAULT_POINTS = ("bind", "optimize", "simulate", "statsvc", "tuning_apply")
+
+#: Kill points at write-ahead-journal record boundaries (only drawn
+#: when a journal is attached to the warehouse).  Kept separate from
+#: :data:`FAULT_POINTS`: crash faults are not retryable stage failures,
+#: they are process death.
+CRASH_POINTS = ("crash_pre_write", "crash_post_write", "crash_pre_commit")
+
+
+class SimulatedCrashError(BaseException):
+    """Deterministic stand-in for process death (kill -9 at a journal
+    boundary).
+
+    Deliberately a ``BaseException``: every ``except Exception`` handler
+    on the serving/tuning paths (retry loops, handle-failure carriers,
+    the scheduler) must let it through, because a real crash gives no
+    handler a chance to run.  The chaos driver catches it, then recovers
+    a fresh warehouse from the journal.
+    """
+
+    def __init__(self, message: str, *, point: str, invocation: int) -> None:
+        super().__init__(message)
+        self.point = point
+        self.invocation = invocation
 
 
 class InjectedFault(TransientError):
@@ -74,9 +113,10 @@ class FaultSpec:
     limit: int | None = None
 
     def __post_init__(self) -> None:
-        if self.point not in FAULT_POINTS:
+        if self.point not in FAULT_POINTS + CRASH_POINTS:
             raise ReproError(
-                f"unknown fault point {self.point!r}; known: {FAULT_POINTS}"
+                f"unknown fault point {self.point!r}; "
+                f"known: {FAULT_POINTS + CRASH_POINTS}"
             )
         for name, rate in (
             ("error_rate", self.error_rate),
@@ -96,7 +136,10 @@ class FaultDecision:
 
     point: str
     invocation: int
-    error: Exception | None = None
+    #: ``BaseException`` because crash points raise
+    #: :class:`SimulatedCrashError`, which is deliberately uncatchable
+    #: by ``except Exception`` handlers.
+    error: BaseException | None = None
     latency_s: float = 0.0
 
 
@@ -142,7 +185,7 @@ class FaultPlan:
             state = self._states[point]
             invocation = state.invocations
             state.invocations += 1
-            error: Exception | None = None
+            error: BaseException | None = None
             latency = 0.0
             for index, spec in specs:
                 if invocation < spec.after:
@@ -170,11 +213,19 @@ class FaultPlan:
             )
 
     @staticmethod
-    def _build_error(spec: FaultSpec, point: str, invocation: int) -> Exception:
+    def _build_error(
+        spec: FaultSpec, point: str, invocation: int
+    ) -> BaseException:
         message = f"injected fault at {point!r} (invocation {invocation})"
-        if spec.error is None:
-            return InjectedFault(message, point=point, invocation=invocation)
-        return spec.error(message)
+        if spec.error is not None:
+            return spec.error(message)
+        if point in CRASH_POINTS:
+            return SimulatedCrashError(
+                f"simulated crash at {point!r} (invocation {invocation})",
+                point=point,
+                invocation=invocation,
+            )
+        return InjectedFault(message, point=point, invocation=invocation)
 
     # ------------------------------------------------------------------ #
     @property
@@ -212,3 +263,24 @@ def outage(
 ) -> FaultSpec:
     """A hard outage spec: every invocation in the window fails."""
     return FaultSpec(point=point, error_rate=1.0, after=after, limit=limit)
+
+
+def kill(point: str, *, at: int = 0) -> FaultSpec:
+    """A one-shot crash spec: invocation ``at`` of ``point`` dies.
+
+    ``point`` must be one of :data:`CRASH_POINTS`; the fired error is a
+    :class:`SimulatedCrashError`.  The chaos recovery matrix sweeps
+    ``at`` over every reachable invocation of every crash point.
+    """
+    if point not in CRASH_POINTS:
+        raise ReproError(
+            f"kill() needs a crash point, got {point!r}; known: {CRASH_POINTS}"
+        )
+    return FaultSpec(point=point, error_rate=1.0, after=at, limit=1)
+
+
+def crash_probes() -> list[FaultSpec]:
+    """Zero-rate specs for every crash point: never fire, but make the
+    plan *count invocations*, so a fault-free run enumerates every
+    reachable kill point (``plan.invocations``) for the matrix."""
+    return [FaultSpec(point=point) for point in CRASH_POINTS]

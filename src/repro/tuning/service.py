@@ -41,12 +41,20 @@ reversible as workloads drift, not fire-and-forget.
 
 from __future__ import annotations
 
-import itertools
 import time
 from dataclasses import dataclass, field
 from enum import Enum
 from typing import TYPE_CHECKING, ClassVar, Iterable
 
+from repro.core.journal import (
+    RollbackCommit,
+    RollbackIntent,
+    TuningCommit,
+    TuningFailed,
+    TuningIntent,
+    capture_undo_snapshot,
+    shares_tuple,
+)
 from repro.core.resilience import CircuitBreaker
 from repro.errors import ReproError, TuningError, TuningStateError
 from repro.statsvc.logs import QueryLogStore, TenantLogView
@@ -309,7 +317,9 @@ class TuningService:
         self.last_error: Exception | None = None
         self.consecutive_failures = 0
         self.breaker = breaker or CircuitBreaker("tuning")
-        self._ids = itertools.count(1)
+        #: Next recommendation id (a plain int, not an iterator, so a
+        #: recovery checkpoint can snapshot and restore it).
+        self._next_id = 1
         self._last_cycle_log_len = 0
         self._last_cycle_clock: float | None = None
 
@@ -356,7 +366,7 @@ class TuningService:
         recommendations: list[Recommendation] = []
         for report in proposals.reports:
             rec = Recommendation(
-                rec_id=next(self._ids),
+                rec_id=self._new_id(),
                 action=self._action_for(report),
                 report=report,
                 tenant_shares=self._tenant_shares(store, report),
@@ -386,6 +396,11 @@ class TuningService:
         return rec
 
     # -- apply / rollback ------------------------------------------------ #
+    def _new_id(self) -> int:
+        rec_id = self._next_id
+        self._next_id += 1
+        return rec_id
+
     def apply(self, rec: Recommendation) -> Recommendation:
         """Apply one accepted recommendation on background compute.
 
@@ -395,17 +410,71 @@ class TuningService:
         pre-tuning plan), applied MVs are registered with the serving
         rewriter, and the one-time dollars are metered into the
         originating tenants' bills.
+
+        With a journal attached this is a **two-record protocol**: a
+        :class:`~repro.core.journal.TuningIntent` carrying a declarative
+        pre-mutation :class:`~repro.core.journal.UndoSnapshot` lands
+        before the catalog mutates, and a
+        :class:`~repro.core.journal.TuningCommit` lands after.  A crash
+        between the two leaves the apply *in doubt*; recovery rolls it
+        back via the journaled snapshot (see
+        :mod:`repro.core.recovery`).
         """
+        warehouse = self.warehouse
+        journaled = warehouse.journal is not None
         self._transition(rec, RecommendationState.APPLYING)
         start = time.perf_counter()
+        snapshot = None
+        if journaled:
+            snapshot = capture_undo_snapshot(
+                rec.action, rec.report, warehouse.database, warehouse.catalog
+            )
+            warehouse._journal_append(
+                TuningIntent(
+                    rec_id=rec.rec_id,
+                    name=rec.action.name,
+                    kind=rec.action.kind,
+                    undo=snapshot,
+                    tenant_shares=shares_tuple(rec.tenant_shares),
+                )
+            )
         try:
             undo = self._dispatch_apply(rec.action, rec.report)
         except Exception as exc:
             rec.error = exc
             rec.stage_timings["apply"] = time.perf_counter() - start
+            if journaled:
+                # In-process failure: nothing mutated (dispatch is
+                # all-or-nothing before its first catalog write), so the
+                # intent is closed as failed rather than left in doubt.
+                warehouse._journal_append(
+                    TuningFailed(
+                        rec_id=rec.rec_id,
+                        name=rec.action.name,
+                        kind=rec.action.kind,
+                        message=str(exc),
+                    )
+                )
             self._transition(rec, RecommendationState.FAILED)
             raise
         rec._undo = undo
+        if journaled:
+            warehouse._fire_fault("crash_pre_commit")
+            warehouse._journal_append(
+                TuningCommit(
+                    rec_id=rec.rec_id,
+                    name=rec.action.name,
+                    kind=rec.action.kind,
+                    dollars=rec.report.one_time_dollars,
+                    tenant_shares=shares_tuple(rec.tenant_shares),
+                    candidate=(
+                        rec.action.candidate
+                        if isinstance(rec.action, MaterializeView)
+                        else None
+                    ),
+                    physical=undo.physical,
+                )
+            )
         if isinstance(rec.action, MaterializeView):
             self.warehouse._register_applied_mv(rec.action.candidate)
         self._meter(rec, rec.report.one_time_dollars)
@@ -456,17 +525,64 @@ class TuningService:
                 state=rec.state.value,
             )
         assert rec._undo is not None
+        warehouse = self.warehouse
+        journaled = warehouse.journal is not None
+        undo = rec._undo
         start = time.perf_counter()
+        if journaled:
+            # The intent carries the *original apply-time* undo snapshot
+            # (kept on the durable record): if the process dies
+            # mid-rollback, recovery completes the reversal forward.
+            durable = warehouse._durable_tuning.get(rec.rec_id)
+            warehouse._journal_append(
+                RollbackIntent(
+                    rec_id=rec.rec_id,
+                    name=rec.action.name,
+                    kind=rec.action.kind,
+                    undo=durable.undo if durable is not None else None,
+                    dollars=undo.dollars,
+                    tenant_shares=shares_tuple(rec.tenant_shares),
+                )
+            )
         try:
-            self.background.rollback(rec._undo)
+            self.background.rollback(undo)
         except Exception as exc:
             rec.error = exc
             rec.stage_timings["rollback"] = time.perf_counter() - start
+            if journaled:
+                # Close the in-doubt window: an in-process rollback
+                # failure (fault fired before anything mutated) must not
+                # be "completed forward" by a later crash recovery.
+                warehouse._journal_append(
+                    TuningFailed(
+                        rec_id=rec.rec_id,
+                        name=rec.action.name,
+                        kind=rec.action.kind,
+                        message=str(exc),
+                    )
+                )
             self._transition(rec, RecommendationState.FAILED)
             raise
+        if journaled:
+            warehouse._fire_fault("crash_pre_commit")
+            warehouse._journal_append(
+                RollbackCommit(
+                    rec_id=rec.rec_id,
+                    name=rec.action.name,
+                    kind=rec.action.kind,
+                    dollars=undo.dollars,
+                    tenant_shares=shares_tuple(rec.tenant_shares),
+                    candidate=(
+                        rec.action.candidate
+                        if isinstance(rec.action, MaterializeView)
+                        else None
+                    ),
+                    physical=undo.physical,
+                )
+            )
         if isinstance(rec.action, MaterializeView):
             self.warehouse._unregister_applied_mv(rec.action.candidate)
-        self._meter(rec, rec._undo.dollars)
+        self._meter(rec, undo.dollars)
         self.warehouse.invalidate_plan_cache()
         rec.stage_timings["rollback"] = time.perf_counter() - start
         rec._undo = None

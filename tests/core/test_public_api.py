@@ -281,7 +281,25 @@ def test_describe_health_snapshot(stats_warehouse):
     and degraded counters, breaker states, and the tuning service's last
     swallowed error."""
     report = stats_warehouse.describe_health()
-    assert set(report) == {"resilience", "breakers", "tuning", "faults"}
+    assert set(report) == {
+        "resilience",
+        "durability",
+        "breakers",
+        "tuning",
+        "faults",
+    }
+    assert set(report["durability"]) == {
+        "journaled",
+        "journal_records",
+        "last_checkpoint_id",
+        "records_since_checkpoint",
+        "recovered",
+        "records_replayed",
+        "in_doubt_forward",
+        "in_doubt_back",
+    }
+    assert report["durability"]["journaled"] is False
+    assert report["durability"]["recovered"] is False
     assert set(report["breakers"]) == {"statsvc", "tuning"}
     for block in report["breakers"].values():
         assert set(block) == {"state", "consecutive_failures", "opens"}

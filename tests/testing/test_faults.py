@@ -8,10 +8,14 @@ import pytest
 
 from repro.errors import BindError, ReproError, TransientError
 from repro.testing import (
+    CRASH_POINTS,
     FAULT_POINTS,
     FaultPlan,
     FaultSpec,
     InjectedFault,
+    SimulatedCrashError,
+    crash_probes,
+    kill,
     outage,
 )
 
@@ -159,3 +163,59 @@ def test_describe_mentions_points_and_fired_counts():
 
 def test_fault_points_snapshot():
     assert FAULT_POINTS == ("bind", "optimize", "simulate", "statsvc", "tuning_apply")
+
+
+# --------------------------------------------------------------------- #
+# Crash fault family (PR 7)
+# --------------------------------------------------------------------- #
+def test_crash_points_snapshot():
+    """The kill points are a separate family at journal-record
+    boundaries; adding one requires extending the recovery matrix."""
+    assert CRASH_POINTS == (
+        "crash_pre_write",
+        "crash_post_write",
+        "crash_pre_commit",
+    )
+    assert not set(CRASH_POINTS) & set(FAULT_POINTS)
+
+
+def test_kill_fires_exactly_once_at_the_given_invocation():
+    plan = FaultPlan([kill("crash_post_write", at=2)])
+    decisions = drain(plan, "crash_post_write", 6)
+    fired = [i for i, d in enumerate(decisions) if d is not None]
+    assert fired == [2]
+    assert plan.fired == {"crash_post_write": 1}
+
+
+def test_kill_rejects_non_crash_points():
+    with pytest.raises(ReproError):
+        kill("optimize")
+
+
+def test_simulated_crash_is_base_exception():
+    """A crash must sever the process: no ``except Exception`` handler
+    (serve_one, the scheduler, apply_all) may swallow it."""
+    plan = FaultPlan([kill("crash_pre_write")])
+    decision = plan.draw("crash_pre_write")
+    assert isinstance(decision.error, SimulatedCrashError)
+    assert isinstance(decision.error, BaseException)
+    assert not isinstance(decision.error, Exception)
+    assert decision.error.point == "crash_pre_write"
+    assert decision.error.invocation == 0
+
+
+def test_crash_probes_count_without_firing():
+    """Zero-rate probes enumerate reachable kill points: invocations
+    tally, nothing raises."""
+    plan = FaultPlan(crash_probes())
+    for point in CRASH_POINTS:
+        assert drain(plan, point, 3) == [None, None, None]
+    assert plan.invocations == {point: 3 for point in CRASH_POINTS}
+    assert not any(plan.fired.values())
+
+
+def test_crash_spec_with_custom_error_keeps_the_custom_type():
+    plan = FaultPlan(
+        [FaultSpec(point="crash_pre_commit", error_rate=1.0, error=BindError)]
+    )
+    assert isinstance(plan.draw("crash_pre_commit").error, BindError)
