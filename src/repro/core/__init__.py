@@ -82,6 +82,15 @@ harness (:func:`~repro.testing.faults.kill` at the
 the crash-recovery chaos suite; ``describe_health()`` carries a
 ``durability`` block (journal length, last checkpoint, records
 replayed, in-doubt resolutions).
+
+The contracts above are *machine-enforced*: ``python -m repro.analysis
+--strict src tests`` (the CI ``lint`` gate — see
+:mod:`repro.analysis`) lints this package's journal-before-mutate
+append sites, ledger-unit billing, StageGuard-only fault handling,
+virtual-time discipline, lock hygiene, and the frozen warehouse
+constructor surface; the lock-order sanitizer
+(:mod:`repro.testing.locks`) checks the runtime complement, a
+cycle-free lock acquisition order, across the chaos matrix.
 """
 
 from repro.core.bioptimizer import BiObjectiveOptimizer, PlanChoice

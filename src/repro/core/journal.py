@@ -50,29 +50,17 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.statsvc.logs import QueryRecord
 
 
-# --------------------------------------------------------------------- #
-# Fixed-point billing units
-# --------------------------------------------------------------------- #
-#: Ledger units per dollar.  A power of two: multiplying a float dollar
-#: amount by it is exact (exponent shift), and 2^80 sits far enough
-#: below the 53-bit mantissa of any plausible dollar amount (anything
-#: >= 2^-27 dollars) that the conversion is *lossless* — ``round()``
-#: never discards a set bit, so a one-charge bill reads back the exact
-#: float that was charged.  Integer accumulation (Python ints are
-#: arbitrary precision) is then exact and order-independent, which is
-#: what makes a crash-recovery replay reproduce live totals to the
-#: last bit.
-LEDGER_SCALE = 1 << 80
-
-
-def to_ledger_units(dollars: float) -> int:
-    """Exact-by-construction conversion of a dollar amount to units."""
-    return round(dollars * LEDGER_SCALE)
-
-
-def from_ledger_units(units: int) -> float:
-    """The float dollar value of an integral unit balance."""
-    return units / LEDGER_SCALE
+# Fixed-point billing units live in :mod:`repro.util.units` so that
+# modules below the core layer (e.g. :mod:`repro.core.resilience`,
+# which may import only ``repro.errors`` and ``repro.util``) can meter
+# dollars in the same ledger units.  Re-exported here because the
+# journal is the canonical consumer and existing call sites import
+# them from this module.
+from repro.util.units import (  # noqa: F401  (re-export)
+    LEDGER_SCALE,
+    from_ledger_units,
+    to_ledger_units,
+)
 
 
 # --------------------------------------------------------------------- #

@@ -56,6 +56,7 @@ from repro.errors import (
     TransientError,
 )
 from repro.util.rng import derive_rng
+from repro.util.units import from_ledger_units, to_ledger_units
 
 
 # --------------------------------------------------------------------- #
@@ -264,19 +265,30 @@ class ResiliencePolicy:
 
 
 class ResilienceStats:
-    """Thread-safe counters for ``warehouse.describe_health()``."""
+    """Thread-safe counters for ``warehouse.describe_health()``.
+
+    Retry dollars accumulate in integral ledger units (the same
+    fixed-point scale as :class:`~repro.core.service.TenantBill` and the
+    journal), so the health snapshot's total matches the sum of the
+    per-tenant ``retry_dollars`` metered onto bills bit for bit,
+    independent of accumulation order.
+    """
 
     def __init__(self) -> None:
         self._lock = threading.Lock()
         self.retries = 0
-        self.retry_dollars = 0.0
+        self._retry_units = 0
         self.deadline_hits = 0
         self.degraded_queries = 0
+
+    @property
+    def retry_dollars(self) -> float:
+        return from_ledger_units(self._retry_units)
 
     def note_retry(self, dollars: float) -> None:
         with self._lock:
             self.retries += 1
-            self.retry_dollars += dollars
+            self._retry_units += to_ledger_units(dollars)
 
     def note_deadline(self) -> None:
         with self._lock:
@@ -290,7 +302,7 @@ class ResilienceStats:
         with self._lock:
             return {
                 "retries": self.retries,
-                "retry_dollars": self.retry_dollars,
+                "retry_dollars": from_ledger_units(self._retry_units),
                 "deadline_hits": self.deadline_hits,
                 "degraded_queries": self.degraded_queries,
             }
@@ -300,7 +312,7 @@ class ResilienceStats:
         ``warehouse.reset_cache_stats()``)."""
         with self._lock:
             self.retries = 0
-            self.retry_dollars = 0.0
+            self._retry_units = 0
             self.deadline_hits = 0
             self.degraded_queries = 0
 

@@ -1,9 +1,11 @@
-"""Deterministic testing utilities (fault injection for chaos suites).
+"""Deterministic testing utilities (fault injection for chaos suites,
+lock-order sanitizing for deadlock detection).
 
 Separate from :mod:`repro.core` so production modules never import test
 machinery; the warehouse only *accepts* an injected
 :class:`~repro.testing.faults.FaultPlan` through
-``warehouse.inject_faults``.
+``warehouse.inject_faults``, and the lock-order sanitizer
+(:mod:`repro.testing.locks`) instruments a warehouse from the outside.
 """
 
 from repro.testing.faults import (
@@ -18,6 +20,12 @@ from repro.testing.faults import (
     kill,
     outage,
 )
+from repro.testing.locks import (
+    LockOrderError,
+    LockOrderSanitizer,
+    SanitizedLock,
+    instrument_warehouse,
+)
 
 __all__ = [
     "CRASH_POINTS",
@@ -26,8 +34,12 @@ __all__ = [
     "FaultPlan",
     "FaultSpec",
     "InjectedFault",
+    "LockOrderError",
+    "LockOrderSanitizer",
+    "SanitizedLock",
     "SimulatedCrashError",
     "crash_probes",
+    "instrument_warehouse",
     "kill",
     "outage",
 ]

@@ -16,6 +16,33 @@ TB: int = 1024 * GB
 SECONDS_PER_HOUR: float = 3600.0
 HOURS_PER_MONTH: float = 730.0  # convention used by cloud storage pricing
 
+# --------------------------------------------------------------------- #
+# Fixed-point billing units
+# --------------------------------------------------------------------- #
+#: Ledger units per dollar.  A power of two: multiplying a float dollar
+#: amount by it is exact (exponent shift), and 2^80 sits far enough
+#: below the 53-bit mantissa of any plausible dollar amount (anything
+#: >= 2^-27 dollars) that the conversion is *lossless* — ``round()``
+#: never discards a set bit, so a one-charge bill reads back the exact
+#: float that was charged.  Integer accumulation (Python ints are
+#: arbitrary precision) is then exact and order-independent, which is
+#: what makes a crash-recovery replay reproduce live totals to the
+#: last bit.  Every authoritative dollar balance in the repo — tenant
+#: bills, journal replay, resilience retry metering — accumulates in
+#: these units; the ``float-billing`` rule in :mod:`repro.analysis`
+#: rejects float ``+=`` on ``*_dollars`` state outside these helpers.
+LEDGER_SCALE = 1 << 80
+
+
+def to_ledger_units(dollars: float) -> int:
+    """Exact-by-construction conversion of a dollar amount to units."""
+    return round(dollars * LEDGER_SCALE)
+
+
+def from_ledger_units(units: int) -> float:
+    """The float dollar value of an integral unit balance."""
+    return units / LEDGER_SCALE
+
 
 def fmt_bytes(num_bytes: float) -> str:
     """Render a byte count with a binary-unit suffix, e.g. ``1.50 GB``."""

@@ -1,0 +1,302 @@
+"""Fixture corpus: every architecture rule fires, suppresses, and
+stays quiet on the idiomatic version of the same code."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import pytest
+
+from repro.analysis import (
+    RULES,
+    WAREHOUSE_INIT_PARAMS,
+    check_module,
+    module_from_source,
+)
+
+
+@dataclass(frozen=True)
+class Fixture:
+    path: str  # where the snippet pretends to live (drives scoping)
+    bad: str  # yields >= 1 finding of the rule
+    good: str  # idiomatic equivalent, clean for the rule
+    good_path: str | None = None  # when the clean idiom is path-bound
+
+
+_WAREHOUSE_PARAMS = ", ".join(sorted(WAREHOUSE_INIT_PARAMS - {"self"}))
+
+CORPUS: dict[str, Fixture] = {
+    "bare-except": Fixture(
+        path="src/repro/core/snippet.py",
+        bad=(
+            "def f():\n"
+            "    try:\n"
+            "        work()\n"
+            "    except:\n"
+            "        pass\n"
+        ),
+        good=(
+            "def f():\n"
+            "    try:\n"
+            "        work()\n"
+            "    except Exception:\n"
+            "        pass\n"
+        ),
+    ),
+    "wall-clock": Fixture(
+        path="src/repro/core/snippet.py",
+        bad=(
+            "import time\n"
+            "def f():\n"
+            "    return time.time()\n"
+        ),
+        good=(
+            "import time\n"
+            "from repro.util.rng import derive_rng\n"
+            "def f(seed):\n"
+            "    started = time.perf_counter()\n"
+            "    rng = derive_rng(seed, 'jitter')\n"
+            "    return started, rng.random()\n"
+        ),
+    ),
+    "float-billing": Fixture(
+        path="src/repro/core/snippet.py",
+        bad=(
+            "class Stats:\n"
+            "    def note(self, dollars):\n"
+            "        self.retry_dollars += dollars\n"
+        ),
+        good=(
+            "from repro.util.units import to_ledger_units\n"
+            "class Stats:\n"
+            "    def note(self, dollars):\n"
+            "        self._retry_units += to_ledger_units(dollars)\n"
+        ),
+    ),
+    "journal-site": Fixture(
+        path="src/repro/core/snippet.py",
+        bad=(
+            "class SideChannel:\n"
+            "    def save(self, record):\n"
+            "        self._journal_append(record)\n"
+        ),
+        # the real registered site keeps its exact path + qualname
+        good=(
+            "class CostIntelligentWarehouse:\n"
+            "    def _charge_retry(self, tenant, dollars):\n"
+            "        self._journal_append(record(tenant, dollars))\n"
+        ),
+        good_path="src/repro/core/warehouse.py",
+    ),
+    "stage-guard": Fixture(
+        path="src/repro/core/snippet.py",
+        bad=(
+            "def f(guard, fn):\n"
+            "    try:\n"
+            "        return guard.run('bind', fn)\n"
+            "    except Exception:\n"
+            "        return None\n"
+        ),
+        good=(
+            "def f(guard, fn):\n"
+            "    try:\n"
+            "        return guard.run('bind', fn)\n"
+            "    except DeadlineExceededError:\n"
+            "        return None\n"
+        ),
+    ),
+    "naked-acquire": Fixture(
+        path="src/repro/core/snippet.py",
+        bad=(
+            "def f(self):\n"
+            "    self._lock.acquire()\n"
+            "    try:\n"
+            "        work()\n"
+            "    finally:\n"
+            "        self._lock.release()\n"
+        ),
+        good=(
+            "def f(self):\n"
+            "    with self._lock:\n"
+            "        work()\n"
+        ),
+    ),
+    "picklable-record": Fixture(
+        path="src/repro/core/journal.py",
+        bad=(
+            "from dataclasses import dataclass\n"
+            "from typing import Callable\n"
+            "@dataclass(frozen=True)\n"
+            "class BadRecord:\n"
+            "    undo: Callable[[], None]\n"
+        ),
+        good=(
+            "from dataclasses import dataclass\n"
+            "@dataclass(frozen=True)\n"
+            "class GoodRecord:\n"
+            "    name: str\n"
+            "    dollars: float\n"
+            "    tables: tuple[str, ...]\n"
+        ),
+    ),
+    "warehouse-kwargs": Fixture(
+        path="src/repro/core/warehouse.py",
+        bad=(
+            "class CostIntelligentWarehouse:\n"
+            f"    def __init__(self, {_WAREHOUSE_PARAMS}, shiny_new_knob=None):\n"
+            "        pass\n"
+        ),
+        good=(
+            "class CostIntelligentWarehouse:\n"
+            f"    def __init__(self, {_WAREHOUSE_PARAMS}):\n"
+            "        pass\n"
+        ),
+    ),
+}
+
+
+def findings_for(rule_id: str, source: str, path: str):
+    module = module_from_source(source, path)
+    active, suppressed = check_module(module, [RULES[rule_id]])
+    return (
+        [f for f in active if f.rule == rule_id],
+        [f for f, _ in suppressed if f.rule == rule_id],
+    )
+
+
+def test_corpus_covers_every_registered_rule():
+    assert set(CORPUS) == set(RULES)
+
+
+@pytest.mark.parametrize("rule_id", sorted(RULES))
+def test_every_rule_fires_and_suppresses(rule_id):
+    fixture = CORPUS[rule_id]
+    fired, _ = findings_for(rule_id, fixture.bad, fixture.path)
+    assert fired, f"{rule_id}: bad fixture did not fire"
+    for finding in fired:
+        assert finding.message and finding.path and finding.line > 0
+
+    # an inline justified lint-allow on each offending line suppresses
+    lines = fixture.bad.splitlines()
+    for line in sorted({f.line for f in fired}):
+        lines[line - 1] += f"  # lint-allow: {rule_id} corpus fixture"
+    active, suppressed = findings_for(
+        rule_id, "\n".join(lines) + "\n", fixture.path
+    )
+    assert active == [], f"{rule_id}: suppression did not take"
+    assert suppressed, f"{rule_id}: suppression not reported"
+
+    # the idiomatic version is clean with no suppression at all
+    clean, _ = findings_for(
+        rule_id, fixture.good, fixture.good_path or fixture.path
+    )
+    assert clean == [], f"{rule_id}: good fixture fired {clean}"
+
+
+# --------------------------------------------------------------------- #
+# Rule-specific edges
+# --------------------------------------------------------------------- #
+def test_bare_except_variants_and_testing_exemption():
+    src = "try:\n    f()\nexcept BaseException:\n    pass\n"
+    fired, _ = findings_for("bare-except", src, "src/repro/core/x.py")
+    assert len(fired) == 1
+    # repro/testing is the one package allowed to catch crashes
+    fired, _ = findings_for("bare-except", src, "src/repro/testing/x.py")
+    assert fired == []
+    # tuple form with BaseException inside
+    src = "try:\n    f()\nexcept (ValueError, BaseException):\n    pass\n"
+    fired, _ = findings_for("bare-except", src, "src/repro/core/x.py")
+    assert len(fired) == 1
+
+
+def test_wall_clock_catches_randomness_and_scopes_to_deterministic_pkgs():
+    bad_rng = "import random\nx = random.random()\n"
+    fired, _ = findings_for("wall-clock", bad_rng, "src/repro/tuning/x.py")
+    assert len(fired) == 1
+    bad_np = "import numpy as np\nrng = np.random.default_rng()\n"
+    fired, _ = findings_for("wall-clock", bad_np, "src/repro/statsvc/x.py")
+    assert len(fired) == 1
+    good_np = "import numpy as np\nrng = np.random.default_rng(42)\n"
+    fired, _ = findings_for("wall-clock", good_np, "src/repro/statsvc/x.py")
+    assert fired == []
+    bad_global = "import numpy as np\nx = np.random.rand(3)\n"
+    fired, _ = findings_for("wall-clock", bad_global, "src/repro/core/x.py")
+    assert len(fired) == 1
+    # out of scope: benchmarks and the engine may read the clock
+    wall = "import time\nx = time.time()\n"
+    fired, _ = findings_for("wall-clock", wall, "src/repro/bench/x.py")
+    assert fired == []
+
+
+def test_float_billing_ignores_non_dollar_accumulators():
+    src = "class S:\n    def f(self, n):\n        self.rows += n\n"
+    fired, _ = findings_for("float-billing", src, "src/repro/core/x.py")
+    assert fired == []
+
+
+def test_journal_site_catches_direct_append_and_respects_registry():
+    direct = (
+        "class Foo:\n"
+        "    def flush(self):\n"
+        "        self.journal.append(entry)\n"
+    )
+    fired, _ = findings_for("journal-site", direct, "src/repro/core/x.py")
+    assert len(fired) == 1
+    assert "Foo.flush" in fired[0].message
+    # list appends on non-journal receivers are not sites
+    benign = "class Foo:\n    def flush(self):\n        self.rows.append(1)\n"
+    fired, _ = findings_for("journal-site", benign, "src/repro/core/x.py")
+    assert fired == []
+
+
+def test_stage_guard_allows_unrelated_try_and_flags_variable_receiver():
+    unrelated = (
+        "def f():\n"
+        "    try:\n"
+        "        parse()\n"
+        "    except Exception:\n"
+        "        pass\n"
+    )
+    fired, _ = findings_for("stage-guard", unrelated, "src/repro/core/x.py")
+    assert fired == []
+    fault_point = (
+        "def f(self):\n"
+        "    try:\n"
+        "        self._fire_fault('crash_pre_write')\n"
+        "    except BaseException:\n"
+        "        pass\n"
+    )
+    fired, _ = findings_for("stage-guard", fault_point, "src/repro/core/x.py")
+    assert len(fired) == 1
+
+
+def test_naked_acquire_ignores_compute_pool_leases():
+    src = "def f(self, n):\n    self.pool.acquire(n)\n    self.pool.release(n)\n"
+    fired, _ = findings_for("naked-acquire", src, "src/repro/compute/x.py")
+    assert fired == []
+
+
+def test_picklable_record_checks_error_init_annotations():
+    bad = (
+        "import threading\n"
+        "class CustomStateError(Exception):\n"
+        "    def __init__(self, message: str, lock: threading.Lock) -> None:\n"
+        "        pass\n"
+    )
+    fired, _ = findings_for("picklable-record", bad, "src/repro/errors.py")
+    assert len(fired) == 1
+    assert "CustomStateError.lock" in fired[0].message
+
+
+def test_warehouse_kwargs_reports_stale_allowlist_entry():
+    params = ", ".join(sorted(WAREHOUSE_INIT_PARAMS - {"self", "journal"}))
+    src = (
+        "class CostIntelligentWarehouse:\n"
+        f"    def __init__(self, {params}):\n"
+        "        pass\n"
+    )
+    fired, _ = findings_for(
+        "warehouse-kwargs", src, "src/repro/core/warehouse.py"
+    )
+    assert len(fired) == 1
+    assert "'journal'" in fired[0].message

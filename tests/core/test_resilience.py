@@ -202,6 +202,28 @@ def test_guard_retries_transient_then_succeeds_and_meters_dollars():
     assert guard.deadline.elapsed_s >= 1.5
 
 
+def test_retry_stats_accumulate_in_exact_ledger_units():
+    """Regression for the analyzer's float-billing rule: retry metering
+    must accumulate integral ledger units, not float ``+=``, so the
+    health snapshot matches the journaled per-tenant charges exactly."""
+    from repro.util.units import to_ledger_units
+
+    stats = ResilienceStats()
+    charges = [0.1] * 10 + [0.005, 1e-9, 123.456]
+    for dollars in charges:
+        stats.note_retry(dollars)
+    expected_units = sum(to_ledger_units(d) for d in charges)
+    assert stats._retry_units == expected_units
+    # Notably 10 * $0.10 contributes exactly 1.0 despite 0.1 being
+    # inexact in binary — integer accumulation has no drift.
+    snap = stats.snapshot()
+    assert snap["retry_dollars"] == stats.retry_dollars
+    assert stats.retry_dollars * (1 << 80) == float(expected_units)
+    stats.reset()
+    assert stats._retry_units == 0
+    assert stats.retry_dollars == 0.0
+
+
 def test_guard_exhaustion_raises_typed_error_with_cause_summary():
     guard = StageGuard(ResiliencePolicy(), attempts=2)
     with pytest.raises(RetryExhaustedError) as excinfo:
