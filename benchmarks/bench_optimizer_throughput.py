@@ -48,6 +48,13 @@ warehouses):
   outcomes, bit-identical plans, and a median paired-chunk wall
   overhead under 5% (gated in CI from the written report).
 
+**Journaled / observed pools** (same paired-chunk A/B shape): the
+write-ahead journal and the scheduled cost-snapshot collector each run
+against an identical bare warehouse on their own disjoint literal seeds;
+both must stay under 5% median paired-chunk overhead with bit-identical
+plans (and, for the observed pool, exact drill-down reconciliation of
+every collected snapshot against the ledger-unit bills).
+
 Reports wall times, throughput, timing-model evaluations, a per-stage
 time breakdown (join ordering / bushy generation / physical planning /
 DOP search / bind+serve overhead), and cache hit rates, then writes
@@ -84,6 +91,7 @@ from repro.core.journal import WriteAheadJournal  # noqa: E402
 from repro.core.resilience import ResiliencePolicy  # noqa: E402
 from repro.core.warehouse import CostIntelligentWarehouse  # noqa: E402
 from repro.cost.estimator import CostEstimator  # noqa: E402
+from repro.obsvc.drilldown import DrillDownNavigator  # noqa: E402
 from repro.dop.constraints import budget_constraint, sla_constraint  # noqa: E402
 from repro.sql.binder import Binder  # noqa: E402
 from repro.workloads.tpch_queries import instantiate, template_names  # noqa: E402
@@ -549,6 +557,114 @@ def run_journaled(catalog, constraint) -> dict:
     }
 
 
+#: Hard ceiling on the fault-free cost of scheduled cost observation:
+#: serving with the snapshot collector enabled (fold the stats log into
+#: a per-tenant drill-down snapshot every few queries) must stay under
+#: 5% median paired-chunk wall overhead vs the identical bare warehouse.
+OBSERVED_OVERHEAD_CEILING = 0.05
+#: Collection cadence for the observed A/B — frequent enough that the
+#: measured overhead includes real snapshot folds, not just the
+#: per-query due-date check.
+OBSERVED_CADENCE_QUERIES = 4
+#: The true collection cost is ~1-3%, close to the 5% ceiling, so the
+#: observed A/B uses more and larger paired chunks than the resilient/
+#: journaled pools: per-chunk scheduler spikes average out within a
+#: 3-sweep chunk and the median tightens over 12 pairs.
+OBSERVED_CHUNKS = 12
+OBSERVED_SWEEPS_PER_CHUNK = 3
+
+
+def run_observed(catalog, constraint) -> dict:
+    """A/B fault-free serving with the snapshot collector on vs off.
+
+    Identical literal-varying traffic through ``Session.submit`` on two
+    identical warehouses; the only difference is
+    ``enable_collection(cadence_queries=OBSERVED_CADENCE_QUERIES)`` on
+    one of them, so every few queries the collector folds the new log
+    records into a per-tenant cost snapshot.  Observation must be pure
+    bookkeeping: bit-identical plans, exact drill-down reconciliation
+    against the ledger-unit bills, and a small wall overhead.  Chunks
+    are measured interleaved in alternating order and compared
+    pairwise, exactly as in :func:`run_resilient`.
+    """
+    names = template_names()
+    sweeps = resilient_traffic(
+        names, chunks=OBSERVED_CHUNKS * OBSERVED_SWEEPS_PER_CHUNK, seed=60_000
+    )
+    chunks = [
+        [
+            sql
+            for sweep in sweeps[
+                index * OBSERVED_SWEEPS_PER_CHUNK:
+                (index + 1) * OBSERVED_SWEEPS_PER_CHUNK
+            ]
+            for sql in sweep
+        ]
+        for index in range(OBSERVED_CHUNKS)
+    ]
+    warehouses = {
+        "bare": CostIntelligentWarehouse(catalog=catalog, plan_cache_size=1024),
+        "observed": CostIntelligentWarehouse(
+            catalog=catalog, plan_cache_size=1024
+        ),
+    }
+    warehouses["observed"].enable_collection(
+        cadence_queries=OBSERVED_CADENCE_QUERIES
+    )
+    sessions = {
+        mode: warehouse.session(tenant="bench", constraint=constraint)
+        for mode, warehouse in warehouses.items()
+    }
+    clocks = dict.fromkeys(warehouses, 0.0)
+
+    def submit(mode: str, sql: str):
+        outcome = sessions[mode].submit(
+            QueryRequest(sql=sql, at_time=clocks[mode], simulate=False)
+        ).result()
+        clocks[mode] += 60.0
+        return outcome
+
+    for mode in warehouses:
+        for name in names:
+            submit(mode, instantiate(name, seed=999))
+
+    walls: dict[str, list[float]] = {"bare": [], "observed": []}
+    choices: dict[str, list] = {"bare": [], "observed": []}
+    pairing = list(warehouses)
+    for index, chunk in enumerate(chunks):
+        ordering = pairing if index % 2 == 0 else pairing[::-1]
+        for mode in ordering:
+            start = time.perf_counter()
+            for sql in chunk:
+                choices[mode].append(submit(mode, sql).choice)
+            walls[mode].append(time.perf_counter() - start)
+
+    chunk_overheads = [
+        observed / bare - 1.0
+        for bare, observed in zip(walls["bare"], walls["observed"])
+    ]
+    observed = warehouses["observed"]
+    final = observed.collector.collect_now()
+    totals = DrillDownNavigator(final).reconcile()
+    reconciled = all(
+        units == observed.billing[tenant].total_units
+        for tenant, units in totals.items()
+    )
+    return {
+        "mode": "observed",
+        "queries": sum(len(chunk) for chunk in chunks),
+        "chunks": OBSERVED_CHUNKS,
+        "bare_wall_s": sum(walls["bare"]),
+        "observed_wall_s": sum(walls["observed"]),
+        "chunk_overheads": chunk_overheads,
+        "overhead": statistics.median(chunk_overheads),
+        "overhead_ceiling": OBSERVED_OVERHEAD_CEILING,
+        "snapshots": observed.metrics.value("repro_cost_snapshots_total"),
+        "reconciled": reconciled,
+        "parity_mismatches": check_parity(choices["bare"], choices["observed"]),
+    }
+
+
 def check_parity(reference_choices, fast_choices) -> int:
     """Count plan/estimate mismatches between two choice sequences."""
     mismatches = 0
@@ -697,6 +813,16 @@ def main(argv: list[str] | None = None) -> int:
         f"{journaled['parity_mismatches']} parity mismatches"
     )
 
+    observed = run_observed(catalog, sla_constraint(SLA_SECONDS))
+    print(
+        f"\nobserved pool (fault-free overhead A/B, {observed['queries']} "
+        f"submits over {observed['chunks']} paired chunks): median overhead "
+        f"{observed['overhead']:+.1%} (ceiling "
+        f"{OBSERVED_OVERHEAD_CEILING:.0%}), {observed['snapshots']} "
+        f"snapshots, reconciled={observed['reconciled']}, "
+        f"{observed['parity_mismatches']} parity mismatches"
+    )
+
     total_mismatches = (
         mismatches
         + lv_mismatches
@@ -704,6 +830,7 @@ def main(argv: list[str] | None = None) -> int:
         + governed["parity_mismatches"]
         + resilient["parity_mismatches"]
         + journaled["parity_mismatches"]
+        + observed["parity_mismatches"]
     )
     report = {
         "benchmark": "optimizer_throughput",
@@ -722,6 +849,7 @@ def main(argv: list[str] | None = None) -> int:
         "governed": governed,
         "resilient": resilient,
         "journaled": journaled,
+        "observed": observed,
         "parity_mismatches": total_mismatches,
     }
     Path(args.output).write_text(json.dumps(report, indent=2) + "\n")
@@ -776,6 +904,21 @@ def main(argv: list[str] | None = None) -> int:
             print(
                 f"FAIL: journaled serving overhead {journaled['overhead']:+.1%} "
                 f">= {JOURNALED_OVERHEAD_CEILING:.0%} ceiling"
+            )
+            return 1
+        # Observation must actually observe (a never-firing collector
+        # would gate nothing) and reconcile exactly against the bills.
+        if not observed["snapshots"] or not observed["reconciled"]:
+            print(
+                "FAIL: observed A/B collected "
+                f"{observed['snapshots']} snapshots / "
+                f"reconciled={observed['reconciled']}"
+            )
+            return 1
+        if observed["overhead"] >= OBSERVED_OVERHEAD_CEILING:
+            print(
+                f"FAIL: observed serving overhead {observed['overhead']:+.1%} "
+                f">= {OBSERVED_OVERHEAD_CEILING:.0%} ceiling"
             )
             return 1
     if args.sf < 100.0 and not args.no_assert:

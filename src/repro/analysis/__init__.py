@@ -1,7 +1,7 @@
 """Static architecture lint for the repro warehouse.
 
 ``python -m repro.analysis --strict src tests`` is a CI gate: it runs
-~8 AST rules that machine-enforce the contracts the warehouse's
+~9 AST rules that machine-enforce the contracts the warehouse's
 correctness rests on — contracts that previously existed only as
 ROADMAP prose.  The rules (see :mod:`repro.analysis.rules`):
 
@@ -17,6 +17,9 @@ ROADMAP prose.  The rules (see :mod:`repro.analysis.rules`):
 ``journal-site``        every journal append site is registered in
                         ``REGISTERED_JOURNAL_SITES`` for kill-point
                         matrix coverage
+``metric-name``         every metric emitted or read through a registry
+                        is a literal name declared in
+                        ``repro.obsvc.metrics.REGISTERED_METRICS``
 ``stage-guard``         no broad ``try/except`` around the
                         bind/optimize/simulate fault points outside
                         ``StageGuard``

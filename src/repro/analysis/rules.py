@@ -25,7 +25,7 @@ from repro.analysis.engine import (
 )
 
 #: Subpackages that must be deterministic and virtual-time only.
-DETERMINISTIC_PACKAGES = frozenset({"core", "tuning", "statsvc"})
+DETERMINISTIC_PACKAGES = frozenset({"core", "tuning", "statsvc", "obsvc"})
 
 #: Every call site that appends to the write-ahead journal, keyed by
 #: ``<normalized path>::<enclosing qualname>``.  The value records how
@@ -62,6 +62,11 @@ REGISTERED_JOURNAL_SITES: dict[str, str] = {
     "repro/tuning/service.py::TuningService.rollback": (
         "RollbackIntent / TuningFailed / RollbackCommit mirror "
         "protocol; covered by rollback kill-point tests"
+    ),
+    "repro/obsvc/collector.py::SnapshotCollector._append_snapshot": (
+        "CostSnapshotTaken journaled write-ahead of the in-memory "
+        "history append; covered by the collector crash-consistency "
+        "kill-point tests (tests/obsvc/test_observability_recovery.py)"
     ),
 }
 
@@ -301,6 +306,80 @@ class JournalSiteRule(Rule):
                     f"unregistered journal append site {key}; add it to "
                     "repro.analysis.rules.REGISTERED_JOURNAL_SITES with "
                     "kill-point test coverage",
+                )
+
+
+#: Registry-emission methods the ``metric-name`` rule audits.  Reads
+#: (``value`` / ``sourced``) are included: a typo'd read silently
+#: returns zero forever, which is exactly the drift the typed registry
+#: exists to prevent.
+_METRIC_METHODS = frozenset(
+    {"counter", "gauge", "histogram", "source", "value", "sourced"}
+)
+
+
+@register
+class MetricNameRule(Rule):
+    """Every metric emitted or read must be declared in
+    ``REGISTERED_METRICS``.
+
+    The observability contract (PR 9) mirrors ``journal-site``: the
+    typed registry in :mod:`repro.obsvc.metrics` raises
+    ``MetricNameError`` at runtime for undeclared names, but only on
+    paths a test actually exercises.  This rule closes the gap
+    statically — any ``*.metrics.counter("name", ...)`` (or gauge /
+    histogram / source / value / sourced) call whose name is not a
+    string literal found in ``REGISTERED_METRICS`` fails the lint, so a
+    typo'd or undeclared metric never ships.  Dynamic names are legal
+    only behind an explicit ``# lint-allow: metric-name <why>``.
+    """
+
+    rule_id = "metric-name"
+    description = (
+        "metric emitted with a name not declared in "
+        "repro.obsvc.metrics.REGISTERED_METRICS"
+    )
+
+    def applies_to(self, module: ModuleSource) -> bool:
+        return (
+            module.in_repro
+            and not module.is_testing
+            and module.norm != "repro/obsvc/metrics.py"
+        )
+
+    def check(self, module: ModuleSource) -> Iterator[Finding]:
+        from repro.obsvc.metrics import REGISTERED_METRICS
+
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            if not isinstance(func, ast.Attribute):
+                continue
+            if func.attr not in _METRIC_METHODS:
+                continue
+            receiver = dotted_name(func.value) or ""
+            tail = receiver.lower().rsplit(".", 1)[-1]
+            if "metric" not in tail and "registry" not in tail:
+                continue
+            first = node.args[0] if node.args else None
+            if not isinstance(first, ast.Constant) or not isinstance(
+                first.value, str
+            ):
+                yield self.finding(
+                    module,
+                    node,
+                    f"{receiver}.{func.attr}() with a non-literal metric "
+                    "name; the registry contract is auditable literal "
+                    "names declared in REGISTERED_METRICS",
+                )
+            elif first.value not in REGISTERED_METRICS:
+                yield self.finding(
+                    module,
+                    node,
+                    f"undeclared metric {first.value!r}; declare it in "
+                    "repro.obsvc.metrics.REGISTERED_METRICS with kind, "
+                    "help text, and label names",
                 )
 
 

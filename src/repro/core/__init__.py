@@ -83,6 +83,22 @@ the crash-recovery chaos suite; ``describe_health()`` carries a
 ``durability`` block (journal length, last checkpoint, records
 replayed, in-doubt resolutions).
 
+Cost observability lives in :mod:`repro.obsvc`.  The warehouse owns a
+typed :class:`~repro.obsvc.metrics.MetricsRegistry` (every metric
+declared up front; dollar metrics carried in integral ledger units) that
+``describe_health()``/``describe_caches()`` are read-only views over,
+and a :class:`~repro.obsvc.collector.SnapshotCollector`
+(``warehouse.enable_collection``, off by default) that folds the
+statistics log into per-tenant :class:`~repro.obsvc.history.CostSnapshot`\\ s
+on a virtual-time or query-count cadence — journaled write-ahead as
+``CostSnapshotTaken`` records, so the
+:class:`~repro.obsvc.history.CostHistoryStore` participates in
+checkpoint/recovery like every other authoritative state.  The
+:class:`~repro.obsvc.drilldown.DrillDownNavigator` decomposes spend
+tenant → template family → pipeline → operator with each level an exact
+integral partition of the one above, and ``warehouse.observe()``
+exports the whole picture as a dict, JSON, or Prometheus text.
+
 The contracts above are *machine-enforced*: ``python -m repro.analysis
 --strict src tests`` (the CI ``lint`` gate — see
 :mod:`repro.analysis`) lints this package's journal-before-mutate

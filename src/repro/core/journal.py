@@ -193,6 +193,25 @@ class RetryCharge:
 
 
 @dataclass(frozen=True)
+class CostSnapshotTaken:
+    """One scheduled cost-observability snapshot landed.
+
+    Journaled write-ahead by the
+    :class:`~repro.obsvc.collector.SnapshotCollector` before the
+    in-memory :class:`~repro.obsvc.history.CostHistoryStore` append;
+    replay re-appends idempotently by ``seq``.  ``tenants`` holds
+    plain-tuple :class:`~repro.obsvc.history.TenantCostSlice` rows
+    (ledger-unit totals plus the exact drill-down leaves) so the
+    record stays picklable without importing the observability layer.
+    """
+
+    seq: int
+    clock: float
+    log_len: int
+    tenants: tuple
+
+
+@dataclass(frozen=True)
 class TuningIntent:
     """A tuning apply is about to mutate the catalog.
 
@@ -320,6 +339,9 @@ class CheckpointState:
     durable_tuning: tuple[DurableRecommendation, ...]
     ledger: tuple[object, ...] = ()  # background LedgerEntry values
     next_rec_id: int = 1
+    #: CostHistoryStore.as_state() rows (plain tuples); trailing default
+    #: keeps pre-observability checkpoints loadable.
+    cost_history: tuple = ()
 
 
 @dataclass(frozen=True)
@@ -337,6 +359,7 @@ RECORD_TYPES = (
     QueryServed,
     AdmissionDecision,
     RetryCharge,
+    CostSnapshotTaken,
     TuningIntent,
     TuningCommit,
     TuningFailed,

@@ -44,6 +44,7 @@ from typing import TYPE_CHECKING
 from repro.core.journal import (
     AdmissionDecision,
     Checkpoint,
+    CostSnapshotTaken,
     JournalEntry,
     QueryServed,
     RetryCharge,
@@ -146,6 +147,9 @@ def _restore_checkpoint(
         service = warehouse.tuning
         service.background.ledger.extend(state.ledger)
         service._next_id = max(service._next_id, state.next_rec_id)
+    # Trailing-default field: checkpoints written before the
+    # observability subsystem carry no cost history.
+    warehouse.cost_history.restore_state(getattr(state, "cost_history", ()))
 
 
 # --------------------------------------------------------------------- #
@@ -184,6 +188,12 @@ def apply_entry(
         return True
     if isinstance(record, RetryCharge):
         warehouse._bill_for(record.tenant).charge_retry(record.dollars)
+        return True
+    if isinstance(record, CostSnapshotTaken):
+        # Write-ahead: the snapshot was journaled before the in-memory
+        # history append, so replay (idempotent by seq) redoes the
+        # append a crash between the two lost.
+        warehouse.cost_history.apply_record(record)
         return True
     if isinstance(record, (TuningIntent, TuningFailed, RollbackIntent)):
         return True  # durable bookkeeping only (done above)

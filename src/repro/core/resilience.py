@@ -285,6 +285,12 @@ class ResilienceStats:
     def retry_dollars(self) -> float:
         return from_ledger_units(self._retry_units)
 
+    @property
+    def retry_units(self) -> int:
+        """Retry spend in integral ledger units (the exact form the
+        metrics registry and billing reconciliation consume)."""
+        return self._retry_units
+
     def note_retry(self, dollars: float) -> None:
         with self._lock:
             self.retries += 1

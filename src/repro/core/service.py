@@ -373,6 +373,27 @@ class TenantBill:
             self._dollars_units + self._background_units + self._retry_units
         )
 
+    # -- exact ledger views (observability reconciles against these) --- #
+    @property
+    def serving_units(self) -> int:
+        """Serving spend in integral ledger units."""
+        return self._dollars_units
+
+    @property
+    def background_units(self) -> int:
+        """Background-tuning spend in integral ledger units."""
+        return self._background_units
+
+    @property
+    def retry_units(self) -> int:
+        """Retry spend in integral ledger units."""
+        return self._retry_units
+
+    @property
+    def total_units(self) -> int:
+        """Total spend in integral ledger units."""
+        return self._dollars_units + self._background_units + self._retry_units
+
     # -- durability ----------------------------------------------------- #
     def ledger_snapshot(self) -> tuple:
         """The bill's exact state as a plain tuple (checkpointing, and
@@ -492,6 +513,7 @@ class Session:
             return handle
         _serve_one(self, handle)
         self.warehouse._maybe_autotune()
+        self.warehouse._maybe_collect()
         return handle
 
     def submit_many(
@@ -538,8 +560,10 @@ class Session:
         )
         handles = scheduler.run(entries)
         # Recurring tuning runs *between* batches (policy cadence), never
-        # while scheduler threads are staging over the shared caches.
+        # while scheduler threads are staging over the shared caches;
+        # scheduled cost collection follows the same contract.
         self.warehouse._maybe_autotune()
+        self.warehouse._maybe_collect()
         return handles
 
     def plan(
@@ -618,6 +642,9 @@ class Session:
                     )
                     handle.admission = verdict
                     if verdict is AdmissionVerdict.DENY:
+                        warehouse.metrics.counter(
+                            "repro_queries_denied_total", tenant=tenant
+                        )
                         handle._deny(
                             controller.denied_error(
                                 tenant,
@@ -757,6 +784,23 @@ class Session:
             )
             warehouse._account(record)
             warehouse._remember_template(request.template, staged.bound)
+            # Serving-event metrics (registry lock is innermost; dollar
+            # amounts are integral ledger units).
+            from repro.core.journal import to_ledger_units
+
+            warehouse.metrics.counter(
+                "repro_queries_served_total", tenant=record.tenant
+            )
+            warehouse.metrics.counter(
+                "repro_serving_cost_ledger_units",
+                to_ledger_units(record.dollars),
+                tenant=record.tenant,
+            )
+            warehouse.metrics.histogram(
+                "repro_query_latency_seconds",
+                record.latency_s,
+                tenant=record.tenant,
+            )
         # Outside the serving lock (checkpoint re-acquires it): roll a
         # checkpoint when the journal's interval policy says so.
         warehouse._maybe_checkpoint()
@@ -805,6 +849,10 @@ def _serve_one(session: Session, handle: QueryHandle) -> bool:
         return True
     except Exception as exc:  # noqa: BLE001 - carried on the handle
         handle._fail(_wrap_failure(handle, exc))
+        session.warehouse.metrics.counter(
+            "repro_queries_failed_total",
+            tenant=handle.request.tenant or session.tenant,
+        )
         return False
 
 

@@ -30,6 +30,7 @@ shim over it.
 
 from __future__ import annotations
 
+import json
 import threading
 import time
 from dataclasses import replace as dataclasses_replace
@@ -58,6 +59,8 @@ from repro.core.journal import (
     TuningFailed,
     TuningIntent,
     WriteAheadJournal,
+    from_ledger_units,
+    to_ledger_units,
 )
 from repro.core.plan_cache import BindingCache, PlanCache, SkeletonCache
 from repro.core.recovery import RecoveryReport, recover_warehouse
@@ -80,6 +83,9 @@ from repro.monitor.policies import (
     PipelineDopMonitor,
     StaticPolicy,
 )
+from repro.obsvc.collector import CollectionPolicy, SnapshotCollector
+from repro.obsvc.history import CostHistoryStore
+from repro.obsvc.metrics import MetricsRegistry
 from repro.plan.expressions import referenced_columns
 from repro.sim.distsim import DistributedSimulator, ScalingPolicy, SimConfig, SimResult
 from repro.sql.binder import Binder, BoundQuery
@@ -99,6 +105,40 @@ _RETRY_PRESSURE = {
     AdmissionVerdict.DEFER: 2,
     AdmissionVerdict.DENY: 3,
 }
+
+#: Breaker state <-> numeric code for the ``repro_breaker_state`` gauge
+#: (Prometheus samples are numbers; ``describe_health`` maps back).
+_BREAKER_STATE_CODES = {"closed": 0, "half_open": 1, "open": 2}
+_BREAKER_STATE_NAMES = {code: name for name, code in _BREAKER_STATE_CODES.items()}
+
+
+def _int_weights(weights: "list[float]") -> list[int]:
+    """Apportionment weights as integers (exact big-int arithmetic);
+    all-zero weight vectors degrade to uniform."""
+    scaled = [max(int(round(weight * 1e9)), 0) for weight in weights]
+    if not any(scaled):
+        return [1] * len(scaled)
+    return scaled
+
+
+def _largest_remainder(total: int, weights: list[int]) -> list[int]:
+    """Split ``total`` integral units proportionally to ``weights`` with
+    no unit created or lost: floor shares first, then one extra unit to
+    the largest remainders (ties broken by position, so the split is
+    deterministic)."""
+    if not weights:
+        return []
+    if total <= 0:
+        return [0] * len(weights)
+    weight_sum = sum(weights)
+    shares = [total * weight // weight_sum for weight in weights]
+    remainders = [total * weight % weight_sum for weight in weights]
+    leftover = total - sum(shares)
+    for index in sorted(
+        range(len(weights)), key=lambda i: (-remainders[i], i)
+    )[:leftover]:
+        shares[index] += 1
+    return shares
 
 
 class CostIntelligentWarehouse:
@@ -237,6 +277,230 @@ class CostIntelligentWarehouse:
         self.binding_cache: BindingCache | None = (
             BindingCache(plan_cache_size, policy=_policy()) if parameterized else None
         )
+        #: Cost observability (see :mod:`repro.obsvc`): the typed
+        #: metrics registry every serving emission and the
+        #: ``describe_health`` / ``describe_caches`` views go through,
+        #: the crash-consistent cost history, and the scheduled
+        #: snapshot collector.  The collector is configured
+        #: post-construction (:meth:`enable_collection`) so the frozen
+        #: constructor surface is untouched.
+        self.metrics = MetricsRegistry()
+        self.cost_history = CostHistoryStore()
+        self.collector = SnapshotCollector(self)
+        self._register_metric_sources()
+
+    # ------------------------------------------------------------------ #
+    # Observability: metric sources + unified entry point
+    # ------------------------------------------------------------------ #
+    def _register_metric_sources(self) -> None:
+        """Wire every sourced metric to its authoritative subsystem.
+
+        Sources are read-through: the caches keep their lock-striped
+        integer stats, admission its journaled verdict counters,
+        resilience its ledger-unit tallies — the registry only *views*
+        them, so nothing on a hot path pays for observability twice.
+        """
+        metrics = self.metrics
+        metrics.source("repro_tenant_cost_ledger_units", self._billing_units_source)
+        metrics.source("repro_cache_entries", lambda: self._cache_source(len))
+        metrics.source(
+            "repro_cache_capacity", lambda: self._cache_source(lambda c: c.capacity)
+        )
+        metrics.source(
+            "repro_cache_hits_total", lambda: self._cache_source(lambda c: c.hits)
+        )
+        metrics.source(
+            "repro_cache_misses_total", lambda: self._cache_source(lambda c: c.misses)
+        )
+        metrics.source(
+            "repro_cache_evictions_total",
+            lambda: self._cache_source(lambda c: c.evictions),
+        )
+        metrics.source(
+            "repro_cache_policy_evictions_total",
+            lambda: self._cache_source(lambda c: c.policy.evictions),
+        )
+        metrics.source(
+            "repro_timing_cache_hits_total",
+            lambda: self._timing_cache_source("hits"),
+        )
+        metrics.source(
+            "repro_timing_cache_computations_total",
+            lambda: self._timing_cache_source("computations"),
+        )
+        metrics.source("repro_admission_verdicts_total", self._admission_source)
+        metrics.source("repro_retries_total", lambda: self.resilience_stats.retries)
+        metrics.source(
+            "repro_retry_cost_ledger_units",
+            lambda: self.resilience_stats.retry_units,
+        )
+        metrics.source(
+            "repro_deadline_hits_total",
+            lambda: self.resilience_stats.deadline_hits,
+        )
+        metrics.source(
+            "repro_degraded_queries_total",
+            lambda: self.resilience_stats.degraded_queries,
+        )
+        metrics.source("repro_breaker_state", lambda: self._breaker_source("state"))
+        metrics.source(
+            "repro_breaker_opens_total", lambda: self._breaker_source("opens")
+        )
+        metrics.source(
+            "repro_breaker_consecutive_failures",
+            lambda: self._breaker_source("consecutive_failures"),
+        )
+        metrics.source(
+            "repro_tuning_cycles_total",
+            lambda: self._tuning.cycles_run if self._tuning is not None else 0,
+        )
+        metrics.source(
+            "repro_tuning_consecutive_failures",
+            lambda: (
+                self._tuning.consecutive_failures if self._tuning is not None else 0
+            ),
+        )
+        metrics.source(
+            "repro_background_cost_ledger_units", self._background_units_source
+        )
+        metrics.source(
+            "repro_tuning_estimated_savings_ledger_units_per_hour",
+            self._estimated_savings_source,
+        )
+        metrics.source(
+            "repro_journal_records_total",
+            lambda: len(self.journal) if self.journal is not None else 0,
+        )
+        metrics.source(
+            "repro_journal_records_since_checkpoint",
+            lambda: (
+                self.journal.records_since_checkpoint
+                if self.journal is not None
+                else 0
+            ),
+        )
+        metrics.source(
+            "repro_journal_last_checkpoint_id",
+            lambda: (
+                (self.journal.last_checkpoint_id or 0)
+                if self.journal is not None
+                else 0
+            ),
+        )
+        metrics.source("repro_virtual_clock_seconds", lambda: self.clock)
+        metrics.source("repro_queries_logged_total", lambda: len(self.logs))
+
+    def _cache_source(self, read) -> dict:
+        values = {}
+        for name, cache in (
+            ("plan", self.plan_cache),
+            ("skeleton", self.skeleton_cache),
+            ("binding", self.binding_cache),
+        ):
+            if cache is not None:
+                values[(name,)] = read(cache)
+        return values
+
+    def _timing_cache_source(self, field: str) -> dict:
+        cache = self.estimator.models.cache
+        if cache is None:
+            return {}
+        stats = cache.stats
+        return {
+            ("timing",): getattr(stats, f"timing_{field}"),
+            ("volume",): getattr(stats, f"volume_{field}"),
+        }
+
+    def _admission_source(self) -> dict:
+        return {
+            (tenant, verdict): count
+            for tenant, counts in self.admission.verdict_counts.items()
+            for verdict, count in counts.items()
+        }
+
+    def _billing_units_source(self) -> dict:
+        values = {}
+        for tenant, bill in sorted(self.billing.items()):
+            values[(tenant, "serving")] = bill.serving_units
+            values[(tenant, "background")] = bill.background_units
+            values[(tenant, "retry")] = bill.retry_units
+        return values
+
+    def _background_units_source(self) -> dict:
+        return {
+            (tenant,): bill.background_units
+            for tenant, bill in sorted(self.billing.items())
+            if bill.background_units
+        }
+
+    def _breaker_source(self, field: str) -> dict:
+        breakers = [("statsvc", self.statsvc_breaker)]
+        if self._tuning is not None:
+            breakers.append(("tuning", self._tuning.breaker))
+        values = {}
+        for name, breaker in breakers:
+            value = breaker.snapshot()[field]
+            if field == "state":
+                value = _BREAKER_STATE_CODES[value]
+            values[(name,)] = value
+        return values
+
+    def _estimated_savings_source(self) -> int:
+        if self._tuning is None:
+            return 0
+        return sum(
+            to_ledger_units(rec.report.net_per_hour)
+            for rec in self._tuning.applied_recommendations
+        )
+
+    def observe(self, format: str = "dict"):
+        """Unified observability entry point (see :mod:`repro.obsvc`).
+
+        ``format="dict"`` (default) returns health + cache views, the
+        full metrics registry, and the collected cost history as plain
+        data; ``"json"`` returns the same serialized; ``"prometheus"``
+        returns the registry in the Prometheus text exposition format.
+        """
+        from repro.obsvc.export import history_json, prometheus_text, registry_json
+
+        if format == "prometheus":
+            return prometheus_text(self.metrics)
+        data = {
+            "health": self.describe_health(),
+            "caches": self.describe_caches(),
+            "metrics": registry_json(self.metrics),
+            "cost_history": history_json(self.cost_history),
+        }
+        if format == "json":
+            return json.dumps(data, indent=2, sort_keys=True, default=str)
+        if format != "dict":
+            raise ReproError(f"unknown observe() format {format!r}")
+        return data
+
+    def enable_collection(
+        self,
+        *,
+        cadence_queries: "int | None" = None,
+        cadence_seconds: "float | None" = None,
+    ) -> None:
+        """Install a recurring cost-snapshot schedule (cadence counted
+        in logged queries or *virtual* seconds, like ``TuningPolicy``);
+        the serving layer collects between batches.
+        ``warehouse.collector.configure(None)`` disables."""
+        self.collector.configure(
+            CollectionPolicy(
+                cadence_queries=cadence_queries,
+                cadence_seconds=cadence_seconds,
+            )
+        )
+
+    def _maybe_collect(self) -> None:
+        """Serving-layer hook mirroring :meth:`_maybe_autotune`: take a
+        scheduled cost snapshot when the collection policy is due."""
+        collector = self.collector
+        if collector.policy is None or not collector.policy.recurring:
+            return
+        collector.maybe_collect()
 
     # ------------------------------------------------------------------ #
     # Sessions / query path
@@ -748,6 +1012,7 @@ class CostIntelligentWarehouse:
             ),
             ledger=ledger,
             next_rec_id=next_rec_id,
+            cost_history=self.cost_history.as_state(),
         )
 
     def _maybe_checkpoint(self) -> None:
@@ -795,43 +1060,56 @@ class CostIntelligentWarehouse:
         (``statsvc`` and ``tuning``), the tuning service's last swallowed
         error and consecutive-failure count, and the active fault plan's
         fired tallies (empty outside chaos testing).
+
+        Every counter here is a **read-only view over the metrics
+        registry** (:mod:`repro.obsvc.metrics`): the registry's sourced
+        providers are the single path to the underlying subsystems, so
+        this dict, the Prometheus exposition, and the JSON export can
+        never disagree.
         """
-        resilience = self.resilience_stats.snapshot()
-        resilience["enabled"] = self.resilience.enabled
-        if self._tuning is not None:
-            service = self._tuning
-            last_error = service.last_error
-            tuning = {
-                "cycles_run": service.cycles_run,
-                "consecutive_failures": service.consecutive_failures,
-                "last_error": (
-                    f"{type(last_error).__name__}: {last_error}"
-                    if last_error is not None
-                    else None
-                ),
+        metrics = self.metrics
+        resilience = {
+            "retries": metrics.value("repro_retries_total"),
+            "retry_dollars": from_ledger_units(
+                metrics.value("repro_retry_cost_ledger_units")
+            ),
+            "deadline_hits": metrics.value("repro_deadline_hits_total"),
+            "degraded_queries": metrics.value("repro_degraded_queries_total"),
+            "enabled": self.resilience.enabled,
+        }
+        last_error = self._tuning.last_error if self._tuning is not None else None
+        tuning = {
+            "cycles_run": metrics.value("repro_tuning_cycles_total"),
+            "consecutive_failures": metrics.value(
+                "repro_tuning_consecutive_failures"
+            ),
+            "last_error": (
+                f"{type(last_error).__name__}: {last_error}"
+                if last_error is not None
+                else None
+            ),
+        }
+        states = metrics.sourced("repro_breaker_state")
+        opens = metrics.sourced("repro_breaker_opens_total")
+        failures = metrics.sourced("repro_breaker_consecutive_failures")
+        breakers = {
+            name: {
+                "state": _BREAKER_STATE_NAMES[states.get((name,), 0)],
+                "consecutive_failures": failures.get((name,), 0),
+                "opens": opens.get((name,), 0),
             }
-            tuning_breaker = service.breaker.snapshot()
-        else:
-            tuning = {
-                "cycles_run": 0,
-                "consecutive_failures": 0,
-                "last_error": None,
-            }
-            tuning_breaker = {
-                "state": "closed",
-                "consecutive_failures": 0,
-                "opens": 0,
-            }
+            for name in ("statsvc", "tuning")
+        }
         journal = self.journal
         recovery = self.last_recovery
         durability = {
             "journaled": journal is not None,
-            "journal_records": len(journal) if journal is not None else 0,
+            "journal_records": metrics.value("repro_journal_records_total"),
             "last_checkpoint_id": (
                 journal.last_checkpoint_id if journal is not None else None
             ),
-            "records_since_checkpoint": (
-                journal.records_since_checkpoint if journal is not None else 0
+            "records_since_checkpoint": metrics.value(
+                "repro_journal_records_since_checkpoint"
             ),
             "recovered": recovery is not None,
             "records_replayed": (
@@ -845,10 +1123,7 @@ class CostIntelligentWarehouse:
         return {
             "resilience": resilience,
             "durability": durability,
-            "breakers": {
-                "statsvc": self.statsvc_breaker.snapshot(),
-                "tuning": tuning_breaker,
-            },
+            "breakers": breakers,
             "tuning": tuning,
             "faults": {
                 "active": self.faults is not None,
@@ -1005,6 +1280,10 @@ class CostIntelligentWarehouse:
         # benchmark that resets cache counters but keeps phantom retries
         # reports steady-state hit rates against warmup failures.
         self.resilience_stats.reset()
+        # Owned registry metrics (served/failed/denied counters, latency
+        # histograms, snapshot tallies) are warmup noise by the same
+        # argument; sourced metrics re-read the subsystems just reset.
+        self.metrics.reset()
 
     def describe_caches(self) -> dict[str, dict]:
         """Hit-rate and governance observability across serving caches.
@@ -1015,43 +1294,55 @@ class CostIntelligentWarehouse:
         cache, the retention policy's name and its eviction count, and an
         ``admission`` block with per-tenant verdict counts (empty until a
         tenant budget is configured).
+
+        Like :meth:`describe_health`, every number is a read-only view
+        over the metrics registry's sourced providers; only the policy
+        *name* (a string, not a metric) is read off the cache directly.
         """
+        metrics = self.metrics
+        entries = metrics.sourced("repro_cache_entries")
+        capacity = metrics.sourced("repro_cache_capacity")
+        hits = metrics.sourced("repro_cache_hits_total")
+        misses = metrics.sourced("repro_cache_misses_total")
+        evictions = metrics.sourced("repro_cache_evictions_total")
+        policy_evictions = metrics.sourced("repro_cache_policy_evictions_total")
         report: dict[str, dict] = {}
-        for label, cache in (
-            ("plan_cache", self.plan_cache),
-            ("skeleton_cache", self.skeleton_cache),
-            ("binding_cache", self.binding_cache),
+        for name, label, cache in (
+            ("plan", "plan_cache", self.plan_cache),
+            ("skeleton", "skeleton_cache", self.skeleton_cache),
+            ("binding", "binding_cache", self.binding_cache),
         ):
             if cache is None:
                 continue
+            cache_hits = hits.get((name,), 0)
+            lookups = cache_hits + misses.get((name,), 0)
             report[label] = {
-                "entries": len(cache),
-                "capacity": cache.capacity,
-                "hits": cache.hits,
-                "misses": cache.misses,
-                "evictions": cache.evictions,
-                "hit_rate": cache.hit_rate,
+                "entries": entries.get((name,), 0),
+                "capacity": capacity.get((name,), 0),
+                "hits": cache_hits,
+                "misses": misses.get((name,), 0),
+                "evictions": evictions.get((name,), 0),
+                "hit_rate": cache_hits / lookups if lookups else 0.0,
                 "policy": cache.policy.name,
-                "policy_evictions": cache.policy.evictions,
+                "policy_evictions": policy_evictions.get((name,), 0),
             }
-        report["admission"] = self.admission.verdict_counts
-        timing_cache = self.estimator.models.cache
-        if timing_cache is not None:
-            stats = timing_cache.stats
-            timing_total = stats.timing_hits + stats.timing_computations
-            volume_total = stats.volume_hits + stats.volume_computations
-            report["timing_cache"] = {
-                "timing_hits": stats.timing_hits,
-                "timing_computations": stats.timing_computations,
-                "timing_hit_rate": (
-                    stats.timing_hits / timing_total if timing_total else 0.0
-                ),
-                "volume_hits": stats.volume_hits,
-                "volume_computations": stats.volume_computations,
-                "volume_hit_rate": (
-                    stats.volume_hits / volume_total if volume_total else 0.0
-                ),
-            }
+        verdicts: dict[str, dict[str, int]] = {}
+        for (tenant, verdict), count in sorted(
+            metrics.sourced("repro_admission_verdicts_total").items()
+        ):
+            verdicts.setdefault(tenant, {})[verdict] = count
+        report["admission"] = verdicts
+        if self.estimator.models.cache is not None:
+            cache_hits = metrics.sourced("repro_timing_cache_hits_total")
+            computations = metrics.sourced("repro_timing_cache_computations_total")
+            block: dict[str, float] = {}
+            for kind in ("timing", "volume"):
+                kind_hits = cache_hits.get((kind,), 0)
+                total = kind_hits + computations.get((kind,), 0)
+                block[f"{kind}_hits"] = kind_hits
+                block[f"{kind}_computations"] = computations.get((kind,), 0)
+                block[f"{kind}_hit_rate"] = kind_hits / total if total else 0.0
+            report["timing_cache"] = block
         return report
 
     def _simulate(
@@ -1211,8 +1502,53 @@ class CostIntelligentWarehouse:
             bytes_scanned=bytes_scanned,
             sla_seconds=constraint.latency_sla,
             tenant=tenant,
+            cost_breakdown=self._cost_breakdown(choice, dollars),
         )
         return record
+
+    def _cost_breakdown(
+        self, choice: PlanChoice, dollars: float
+    ) -> tuple[tuple[str, str, int], ...]:
+        """Apportion one query's spend over its plan's operators, exactly.
+
+        Two-level largest-remainder split of ``to_ledger_units(dollars)``:
+        pipelines weighted by their planned durations, operators within a
+        pipeline by ``input_bytes`` (uniform when unknown).  Integer math
+        throughout, so the returned ``(pipeline, operator, units)`` leaves
+        always sum bitwise to the units the tenant's bill is charged —
+        the invariant the drill-down navigator reconciles against.
+        Zero-share leaves are dropped.
+        """
+        total_units = to_ledger_units(dollars)
+        pipelines = list(choice.dag)
+        if not pipelines:
+            return ((("(plan)"), "(operator)", total_units),) if total_units else ()
+        per_pipe = choice.dop_plan.estimate.pipelines
+        pipe_weights = _int_weights(
+            getattr(per_pipe.get(p.pipeline_id), "duration", 0.0)
+            for p in pipelines
+        )
+        leaves: list[tuple[str, str, int]] = []
+        for pipeline, pipe_units in zip(
+            pipelines, _largest_remainder(total_units, pipe_weights)
+        ):
+            label = f"P{pipeline.pipeline_id}"
+            ops = list(pipeline.ops)
+            if not ops:
+                if pipe_units:
+                    leaves.append((label, "(pipeline)", pipe_units))
+                continue
+            op_weights = _int_weights(
+                float(getattr(op.node, "input_bytes", 0.0)) for op in ops
+            )
+            for op, op_units in zip(
+                ops, _largest_remainder(pipe_units, op_weights)
+            ):
+                if op_units:
+                    leaves.append(
+                        (label, f"{op.node.describe()}[{op.role}]", op_units)
+                    )
+        return tuple(leaves)
 
     def _apply_served(self, record: QueryRecord) -> None:
         """Apply a (journaled) served-query record to warehouse memory:

@@ -34,6 +34,12 @@ class QueryRecord:
     bytes_scanned: float = 0.0
     sla_seconds: float | None = None
     tenant: str = "default"
+    #: Exact drill-down apportionment of this query's spend:
+    #: ``(pipeline, operator, ledger_units)`` triples whose integral
+    #: units sum bitwise to ``to_ledger_units(dollars)`` (largest
+    #: remainder, computed once at serving time).  Trailing default
+    #: keeps pre-observability checkpoints loadable.
+    cost_breakdown: tuple = ()
 
     @property
     def sla_met(self) -> bool | None:
@@ -103,6 +109,11 @@ class QueryLogStore:
         if count < 1:
             return []
         return self._records[-count:]
+
+    def since(self, start: int) -> list[QueryRecord]:
+        """Records from append index ``start`` onward (O(result), not
+        O(log)) — lets the cost collector fold incrementally."""
+        return self._records[start:]
 
     def by_template(self) -> dict[str, list[QueryRecord]]:
         grouped: dict[str, list[QueryRecord]] = {}

@@ -221,8 +221,10 @@ def instrument_warehouse(
     sets and their retention policies, admission, the template
     frequency provider, both circuit breakers (statsvc + tuning, the
     latter only if the tuning service has materialized), resilience
-    stats, and an installed fault plan.  Call *after* the warehouse is
-    fully constructed (and after ``inject_faults`` / first ``tuning``
+    stats, the observability locks (metrics registry, cost history,
+    snapshot collector), and an installed fault plan.  Call *after*
+    the warehouse is fully constructed (and after ``inject_faults`` /
+    first ``tuning``
     access, to catch those locks too); instrumenting twice is a no-op
     per lock.
     """
@@ -258,6 +260,15 @@ def instrument_warehouse(
     )
     warehouse.resilience_stats._lock = sanitizer.wrap(
         warehouse.resilience_stats._lock, "resilience_stats"
+    )
+    warehouse.metrics._lock = sanitizer.wrap(
+        warehouse.metrics._lock, "metrics_registry"
+    )
+    warehouse.cost_history._lock = sanitizer.wrap(
+        warehouse.cost_history._lock, "cost_history"
+    )
+    warehouse.collector._lock = sanitizer.wrap(
+        warehouse.collector._lock, "snapshot_collector"
     )
     if warehouse.faults is not None:
         warehouse.faults._lock = sanitizer.wrap(

@@ -88,6 +88,19 @@ CORPUS: dict[str, Fixture] = {
         ),
         good_path="src/repro/core/warehouse.py",
     ),
+    "metric-name": Fixture(
+        path="src/repro/core/snippet.py",
+        bad=(
+            "def f(self, tenant):\n"
+            "    self.metrics.counter('totally_undeclared_metric', "
+            "tenant=tenant)\n"
+        ),
+        good=(
+            "def f(self, tenant):\n"
+            "    self.metrics.counter('repro_queries_served_total', "
+            "tenant=tenant)\n"
+        ),
+    ),
     "stage-guard": Fixture(
         path="src/repro/core/snippet.py",
         bad=(
@@ -246,6 +259,32 @@ def test_journal_site_catches_direct_append_and_respects_registry():
     # list appends on non-journal receivers are not sites
     benign = "class Foo:\n    def flush(self):\n        self.rows.append(1)\n"
     fired, _ = findings_for("journal-site", benign, "src/repro/core/x.py")
+    assert fired == []
+
+
+def test_metric_name_flags_dynamic_names_and_skips_other_receivers():
+    dynamic = (
+        "def f(self, name):\n"
+        "    self.metrics.counter(name)\n"
+    )
+    fired, _ = findings_for("metric-name", dynamic, "src/repro/core/x.py")
+    assert len(fired) == 1
+    assert "non-literal" in fired[0].message
+    # reads are audited too: a typo'd read returns zero forever
+    read = "def f(self):\n    return self.metrics.value('no_such_metric')\n"
+    fired, _ = findings_for("metric-name", read, "src/repro/core/x.py")
+    assert len(fired) == 1
+    # unrelated receivers with the same method names are not metrics
+    benign = "def f(self):\n    self.votes.counter('yes')\n"
+    fired, _ = findings_for("metric-name", benign, "src/repro/core/x.py")
+    assert fired == []
+    # the registry's own implementation is exempt (it validates at runtime)
+    impl = (
+        "class MetricsRegistry:\n"
+        "    def value(self, name):\n"
+        "        return self.registry.value(name)\n"
+    )
+    fired, _ = findings_for("metric-name", impl, "src/repro/obsvc/metrics.py")
     assert fired == []
 
 

@@ -18,6 +18,7 @@ from repro.core.journal import (
     AdmissionDecision,
     Checkpoint,
     CheckpointState,
+    CostSnapshotTaken,
     DurableRecommendation,
     JournalEntry,
     QueryServed,
@@ -98,6 +99,24 @@ def sample_records() -> list:
             rec_id=1, name="mv_q5ish", kind="materialized-view", undo=undo
         ),
         RollbackCommit(rec_id=1, name="mv_q5ish", kind="materialized-view"),
+        CostSnapshotTaken(
+            seq=1,
+            clock=30.0,
+            log_len=3,
+            tenants=(
+                (
+                    "acme",
+                    3,
+                    4.5,
+                    to_ledger_units(0.000370370367),
+                    0,
+                    0,
+                    0,
+                    0,
+                    (("q5ish", "P0", "Scan[source_scan]", 123456),),
+                ),
+            ),
+        ),
         Checkpoint(
             checkpoint_id=1,
             state=CheckpointState(

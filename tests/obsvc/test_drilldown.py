@@ -1,0 +1,100 @@
+"""Drill-down navigator: exact partitions, ranking, and failure modes."""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+
+from repro.obsvc.drilldown import DrillDownNavigator, ReconciliationError
+from repro.obsvc.history import CostLeaf, CostSnapshot, TenantCostSlice
+
+
+def slice_with(tenant: str, leaves, **units) -> TenantCostSlice:
+    serving = units.get("serving", sum(l.units for l in leaves))
+    return TenantCostSlice(
+        tenant=tenant,
+        queries=2,
+        machine_seconds=1.0,
+        serving_units=serving,
+        background_units=units.get("background", 0),
+        background_actions=0,
+        retry_units=units.get("retry", 0),
+        retries=0,
+        leaves=tuple(leaves),
+    )
+
+
+@pytest.fixture()
+def snapshot() -> CostSnapshot:
+    acme = slice_with(
+        "acme",
+        [
+            CostLeaf("q5ish", "P0", "Scan", 700),
+            CostLeaf("q5ish", "P0", "Join", 200),
+            CostLeaf("q5ish", "P1", "Aggregate", 50),
+            CostLeaf("orders_scan", "P0", "Scan", 49),
+        ],
+    )
+    bolt = slice_with("bolt", [CostLeaf("q5ish", "P0", "Scan", 400)])
+    return CostSnapshot(seq=1, clock=30.0, log_len=4, tenants=(acme, bolt))
+
+
+def test_levels_rank_by_spend_then_name(snapshot):
+    nav = DrillDownNavigator(snapshot)
+    assert nav.tenants() == (("acme", 999), ("bolt", 400))
+    assert nav.templates("acme") == (("q5ish", 950), ("orders_scan", 49))
+    assert nav.pipelines("acme", "q5ish") == (("P0", 900), ("P1", 50))
+    assert nav.operators("acme", "q5ish", "P0") == (
+        ("Scan", 700),
+        ("Join", 200),
+    )
+
+
+def test_costliest_path_follows_the_biggest_number(snapshot):
+    nav = DrillDownNavigator(snapshot)
+    assert nav.costliest_path() == ("acme", "q5ish", "P0", "Scan", 700)
+    assert nav.costliest_path("bolt") == ("bolt", "q5ish", "P0", "Scan", 400)
+
+
+def test_reconcile_exact(snapshot):
+    nav = DrillDownNavigator(snapshot)
+    assert nav.reconcile() == {"acme": 999, "bolt": 400}
+    assert nav.reconcile("bolt") == {"bolt": 400}
+
+
+def test_reconcile_raises_on_any_stray_unit(snapshot):
+    acme = snapshot.tenants[0]
+    corrupt = dataclasses.replace(acme, serving_units=acme.serving_units + 1)
+    bad = CostSnapshot(
+        seq=1, clock=30.0, log_len=4, tenants=(corrupt, snapshot.tenants[1])
+    )
+    with pytest.raises(ReconciliationError, match="acme"):
+        DrillDownNavigator(bad).reconcile()
+    # the untouched tenant still reconciles on its own
+    assert DrillDownNavigator(bad).reconcile("bolt") == {"bolt": 400}
+
+
+def test_unknown_tenant_raises(snapshot):
+    nav = DrillDownNavigator(snapshot)
+    with pytest.raises(ReconciliationError, match="nobody"):
+        nav.templates("nobody")
+    with pytest.raises(ReconciliationError, match="nobody"):
+        nav.reconcile("nobody")
+
+
+def test_empty_snapshot_has_no_costliest_path():
+    nav = DrillDownNavigator(
+        CostSnapshot(seq=1, clock=0.0, log_len=0, tenants=())
+    )
+    with pytest.raises(ReconciliationError):
+        nav.costliest_path()
+
+
+def test_describe_renders_every_level(snapshot):
+    text = DrillDownNavigator(snapshot).describe()
+    assert "snapshot #1" in text
+    for token in ("acme", "q5ish", "P0", "Scan"):
+        assert token in text
+    # scoped rendering shows only the requested tenant
+    assert "bolt" not in DrillDownNavigator(snapshot).describe("acme")
