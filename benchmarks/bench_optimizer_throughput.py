@@ -76,6 +76,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import statistics
 import sys
 import time
@@ -665,6 +666,130 @@ def run_observed(catalog, constraint) -> dict:
     }
 
 
+#: Worker counts the sharded A/B sweeps: the overhead ceiling applies
+#: at one worker, the speedup floor at the widest pool.
+SHARDED_WORKER_COUNTS = (1, 2, 4)
+SHARDED_CHUNKS = 6
+SHARDED_SWEEPS_PER_CHUNK = 3
+#: Required best-chunk throughput gain of process-sharded serving over
+#: the threaded scheduler at the widest pool.  Planning is GIL-bound,
+#: so the gain only exists with real cores to scale onto — the floor
+#: binds when ``cpu_count >= 4``; smaller hosts record the numbers for
+#: trend tracking with a printed note.
+SHARDED_SPEEDUP_FLOOR = 2.0
+#: Ceiling on single-worker dispatch overhead (task pickling + two pipe
+#: hops per query), likewise enforced only when the coordinator and the
+#: worker are not competing for the same core.
+SHARDED_OVERHEAD_CEILING = 0.05
+
+
+def run_sharded(catalog, constraint) -> dict:
+    """A/B batch serving: threaded scheduler vs process-sharded pools.
+
+    Identical literal-varying batches through ``Session.submit_many``
+    on paired warehouses — one threaded, one with ``enable_sharding``
+    at each worker count — measured interleaved in alternating chunk
+    order like every other A/B here.  Plan parity and zero worker
+    restarts are hard gates at any scale; the wall floors are
+    cores-conditional (see the constants above).
+    """
+    names = template_names()
+    seed = 70_000
+    pools: dict[str, dict] = {}
+    for workers in SHARDED_WORKER_COUNTS:
+        sweeps = resilient_traffic(
+            names, chunks=SHARDED_CHUNKS * SHARDED_SWEEPS_PER_CHUNK, seed=seed
+        )
+        seed += 10_000  # disjoint constants per worker count
+        chunks = [
+            [
+                sql
+                for sweep in sweeps[
+                    index * SHARDED_SWEEPS_PER_CHUNK:
+                    (index + 1) * SHARDED_SWEEPS_PER_CHUNK
+                ]
+                for sql in sweep
+            ]
+            for index in range(SHARDED_CHUNKS)
+        ]
+        warehouses = {
+            "threaded": CostIntelligentWarehouse(
+                catalog=catalog, plan_cache_size=1024
+            ),
+            "sharded": CostIntelligentWarehouse(
+                catalog=catalog, plan_cache_size=1024
+            ),
+        }
+        warehouses["sharded"].enable_sharding(workers=workers)
+        try:
+            sessions = {
+                mode: warehouse.session(tenant="bench", constraint=constraint)
+                for mode, warehouse in warehouses.items()
+            }
+            clocks = dict.fromkeys(warehouses, 0.0)
+
+            def run_batch(mode: str, sqls: list[str]) -> list:
+                requests = []
+                for sql in sqls:
+                    requests.append(
+                        QueryRequest(
+                            sql=sql, at_time=clocks[mode], simulate=False
+                        )
+                    )
+                    clocks[mode] += 60.0
+                handles = sessions[mode].submit_many(requests, max_workers=4)
+                return [handle.result().choice for handle in handles]
+
+            for mode in warehouses:
+                # Warmup: one out-of-band sweep populates the coordinator
+                # caches and (sharded) the worker-private caches alike.
+                run_batch(mode, [instantiate(name, seed=999) for name in names])
+
+            walls: dict[str, list[float]] = {"threaded": [], "sharded": []}
+            choices: dict[str, list] = {"threaded": [], "sharded": []}
+            pairing = list(warehouses)
+            for index, chunk in enumerate(chunks):
+                ordering = pairing if index % 2 == 0 else pairing[::-1]
+                for mode in ordering:
+                    start = time.perf_counter()
+                    choices[mode].extend(run_batch(mode, chunk))
+                    walls[mode].append(time.perf_counter() - start)
+
+            pool = warehouses["sharded"].worker_pool
+            chunk_size = len(chunks[0])
+            chunk_overheads = [
+                sharded / threaded - 1.0
+                for threaded, sharded in zip(walls["threaded"], walls["sharded"])
+            ]
+            pools[str(workers)] = {
+                "workers": workers,
+                "queries": sum(len(chunk) for chunk in chunks),
+                "threaded_wall_s": sum(walls["threaded"]),
+                "sharded_wall_s": sum(walls["sharded"]),
+                "threaded_qps": chunk_size / min(walls["threaded"]),
+                "sharded_qps": chunk_size / min(walls["sharded"]),
+                "speedup": min(walls["threaded"]) / min(walls["sharded"]),
+                "chunk_overheads": chunk_overheads,
+                "overhead": statistics.median(chunk_overheads),
+                "tasks_dispatched": pool.tasks_dispatched,
+                "warm_skeleton_hits": pool.warm_skeleton_hits,
+                "restarts": pool.restarts,
+                "parity_mismatches": check_parity(
+                    choices["threaded"], choices["sharded"]
+                ),
+            }
+        finally:
+            warehouses["sharded"].disable_sharding()
+    return {
+        "mode": "sharded",
+        "cpu_count": os.cpu_count(),
+        "worker_counts": list(SHARDED_WORKER_COUNTS),
+        "speedup_floor": SHARDED_SPEEDUP_FLOOR,
+        "overhead_ceiling": SHARDED_OVERHEAD_CEILING,
+        "pools": pools,
+    }
+
+
 def check_parity(reference_choices, fast_choices) -> int:
     """Count plan/estimate mismatches between two choice sequences."""
     mismatches = 0
@@ -716,6 +841,10 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "--output", default=str(REPO_ROOT / "BENCH_optimizer.json"),
         help="where to write the JSON report",
+    )
+    parser.add_argument(
+        "--serving-output", default=str(REPO_ROOT / "BENCH_serving.json"),
+        help="where to write the sharded-serving JSON report",
     )
     parser.add_argument(
         "--no-assert", action="store_true",
@@ -823,6 +952,23 @@ def main(argv: list[str] | None = None) -> int:
         f"{observed['parity_mismatches']} parity mismatches"
     )
 
+    sharded = run_sharded(catalog, sla_constraint(SLA_SECONDS))
+    print(
+        f"\nsharded pool (threaded-vs-process A/B, "
+        f"{sharded['cpu_count']} host core(s)):"
+    )
+    for pool_result in sharded["pools"].values():
+        print(
+            f"  {pool_result['workers']} worker(s): "
+            f"{pool_result['sharded_qps']:7.1f} qps vs "
+            f"{pool_result['threaded_qps']:7.1f} threaded "
+            f"(speedup {pool_result['speedup']:.2f}x, median overhead "
+            f"{pool_result['overhead']:+.1%}), "
+            f"{pool_result['warm_skeleton_hits']} warm skeleton hits, "
+            f"{pool_result['restarts']} restart(s), "
+            f"{pool_result['parity_mismatches']} parity mismatches"
+        )
+
     total_mismatches = (
         mismatches
         + lv_mismatches
@@ -831,6 +977,7 @@ def main(argv: list[str] | None = None) -> int:
         + resilient["parity_mismatches"]
         + journaled["parity_mismatches"]
         + observed["parity_mismatches"]
+        + sum(p["parity_mismatches"] for p in sharded["pools"].values())
     )
     report = {
         "benchmark": "optimizer_throughput",
@@ -850,10 +997,21 @@ def main(argv: list[str] | None = None) -> int:
         "resilient": resilient,
         "journaled": journaled,
         "observed": observed,
+        "sharded": sharded,
         "parity_mismatches": total_mismatches,
     }
     Path(args.output).write_text(json.dumps(report, indent=2) + "\n")
     print(f"wrote {args.output}")
+    serving_report = {
+        "benchmark": "sharded_serving",
+        "scale_factor": args.sf,
+        "quick": args.quick,
+        **sharded,
+    }
+    Path(args.serving_output).write_text(
+        json.dumps(serving_report, indent=2) + "\n"
+    )
+    print(f"wrote {args.serving_output}")
 
     if total_mismatches:
         print("FAIL: a fast path diverged from fresh plans/estimates")
@@ -921,6 +1079,17 @@ def main(argv: list[str] | None = None) -> int:
                 f">= {OBSERVED_OVERHEAD_CEILING:.0%} ceiling"
             )
             return 1
+        # A fault-free sharded A/B must never restart a worker: a
+        # restart here means a crash or hang in steady-state serving.
+        sharded_restarts = sum(
+            p["restarts"] for p in sharded["pools"].values()
+        )
+        if sharded_restarts:
+            print(
+                f"FAIL: fault-free sharded serving restarted workers "
+                f"{sharded_restarts} time(s)"
+            )
+            return 1
     if args.sf < 100.0 and not args.no_assert:
         # Small catalogs shrink the DOP search (plans are cheap at DOP 1),
         # so estimation is a smaller share of optimize time and the
@@ -949,6 +1118,29 @@ def main(argv: list[str] | None = None) -> int:
                 f"< {TIMING_REDUCTION_FLOOR}x floor"
             )
             return 1
+        cores = sharded["cpu_count"] or 1
+        if cores < 4:
+            print(
+                f"note: {cores} host core(s) cannot scale a process pool; "
+                "skipping the sharded wall floors (recorded for trend only)"
+            )
+        elif not args.quick:
+            widest = sharded["pools"][str(max(SHARDED_WORKER_COUNTS))]
+            single = sharded["pools"]["1"]
+            if widest["speedup"] < SHARDED_SPEEDUP_FLOOR:
+                print(
+                    f"FAIL: sharded speedup {widest['speedup']:.2f}x at "
+                    f"{widest['workers']} workers < "
+                    f"{SHARDED_SPEEDUP_FLOOR}x floor"
+                )
+                return 1
+            if single["overhead"] >= SHARDED_OVERHEAD_CEILING:
+                print(
+                    f"FAIL: single-worker dispatch overhead "
+                    f"{single['overhead']:+.1%} >= "
+                    f"{SHARDED_OVERHEAD_CEILING:.0%} ceiling"
+                )
+                return 1
     return 0
 
 

@@ -588,6 +588,110 @@ class PicklableRecordRule(Rule):
                                 )
 
 
+#: Modules that run inside planner worker *processes*.  Everything in
+#: this set is held to the ``worker-isolation`` contract: workers
+#: compute pure planning functions and must never reach the journal,
+#: tenant bills, the statistics log, or the metrics registry — those
+#: are ordered, exactly-once coordinator effects, and keeping them out
+#: of the worker is what makes crash-restart + re-stage safe (a worker
+#: can die and its tasks replay without double-billing or
+#: double-logging).
+WORKER_ISOLATED_MODULES = frozenset({"repro/core/sharding_worker.py"})
+
+#: Import prefixes that carry coordinator authority (journal writes,
+#: billing, admission, statistics/metrics emission).
+_COORDINATOR_IMPORTS = (
+    "repro.core.journal",
+    "repro.core.service",
+    "repro.core.warehouse",
+    "repro.statsvc",
+    "repro.obsvc",
+)
+
+#: Method names that perform coordinator-only effects.
+_COORDINATOR_CALLS = frozenset(
+    {"_journal_append", "_log", "_charge_retry", "_account", "record_query"}
+)
+
+
+@register
+class WorkerIsolationRule(Rule):
+    """Planner worker modules never touch coordinator authority.
+
+    The process-sharded serving path (``repro.core.sharding``) keeps
+    every journal append, ``TenantBill`` mutation, admission decision,
+    and statistics-log write in the coordinator's ordered finalize
+    phase; worker processes only bind and optimize.  This rule pins
+    that statically for the worker entrypoint module: no imports of the
+    journal/service/warehouse/statsvc/obsvc layers, no journal-append
+    or billing/logging calls, no ``TenantBill`` references.  Without
+    it, a drive-by "just log it in the worker" edit would silently
+    break exactly-once semantics — a restarted worker replays its
+    in-flight tasks, and any side effect it performed runs twice.
+    """
+
+    rule_id = "worker-isolation"
+    description = (
+        "coordinator authority (journal/billing/statistics/metrics) "
+        "reachable from a planner worker module"
+    )
+
+    def applies_to(self, module: ModuleSource) -> bool:
+        return module.norm in WORKER_ISOLATED_MODULES
+
+    def _forbidden_import(self, node: ast.AST) -> str | None:
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                if alias.name.startswith(_COORDINATOR_IMPORTS):
+                    return alias.name
+        if isinstance(node, ast.ImportFrom) and node.module:
+            if node.module.startswith(_COORDINATOR_IMPORTS):
+                return node.module
+        return None
+
+    def check(self, module: ModuleSource) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            name = self._forbidden_import(node)
+            if name is not None:
+                yield self.finding(
+                    module,
+                    node,
+                    f"worker module imports {name}; journal, billing, "
+                    "statistics, and metrics are coordinator-side only "
+                    "(workers must stay restartable without replayed "
+                    "side effects)",
+                )
+                continue
+            if isinstance(node, ast.Call) and isinstance(
+                node.func, ast.Attribute
+            ):
+                receiver = dotted_name(node.func.value) or ""
+                attr = node.func.attr
+                is_journal_append = attr == "append" and (
+                    "journal" in receiver.lower() or "log" in receiver.lower()
+                )
+                if attr in _COORDINATOR_CALLS or is_journal_append:
+                    yield self.finding(
+                        module,
+                        node,
+                        f"worker module calls {receiver}.{attr}(); ordered "
+                        "exactly-once effects belong to the coordinator's "
+                        "finalize phase",
+                    )
+            if (
+                isinstance(node, ast.Name) and node.id == "TenantBill"
+            ) or (
+                isinstance(node, ast.Attribute) and node.attr == "TenantBill"
+            ):
+                yield self.finding(
+                    module,
+                    node,
+                    "worker module references TenantBill; bills are "
+                    "coordinator state — a worker touching one would "
+                    "double-charge on crash-restart re-staging",
+                )
+
+
 @register
 class WarehouseKwargsRule(Rule):
     """``CostIntelligentWarehouse.__init__`` keywords are frozen.

@@ -99,12 +99,34 @@ tenant → template family → pipeline → operator with each level an exact
 integral partition of the one above, and ``warehouse.observe()``
 exports the whole picture as a dict, JSON, or Prometheus text.
 
+Process-sharded serving lives in :mod:`repro.core.sharding` (the
+coordinator-side :class:`~repro.core.sharding.PlannerWorkerPool`) and
+:mod:`repro.core.sharding_worker` (the worker entrypoint).  Threaded
+batch serving interleaves CPU-bound planning under the GIL; with
+``warehouse.enable_sharding(workers=N)`` the scheduler instead stages
+``bind -> optimize`` in warm, long-lived worker *processes*, keyed by
+literal-free template so each worker's private binding/skeleton caches
+serve every instantiation of its templates.  Workers exchange only
+picklable wire records (:class:`~repro.core.sharding.StageTask` out,
+:class:`~repro.core.sharding.StagedPlan` back); every authoritative
+effect — admission, billing, statistics logs, journal appends,
+simulation — happens at the coordinator's ordered finalize, so sharded
+output is bit-identical to the threaded and sequential paths (plans,
+logs, ledger bills, admission verdicts — enforced by the sharded
+parity matrix).  Crashed workers (including the seeded
+``worker_crash`` fault point) restart warm with their in-flight tasks
+re-staged exactly-once; an unresponsive worker surfaces as an
+``optimize`` deadline and takes the degraded fallback above.  The
+``worker-isolation`` lint rule machine-checks that the worker module
+can never import or call the coordinator's journal/billing/logging
+surfaces.
+
 The contracts above are *machine-enforced*: ``python -m repro.analysis
 --strict src tests`` (the CI ``lint`` gate — see
 :mod:`repro.analysis`) lints this package's journal-before-mutate
 append sites, ledger-unit billing, StageGuard-only fault handling,
-virtual-time discipline, lock hygiene, and the frozen warehouse
-constructor surface; the lock-order sanitizer
+virtual-time discipline, lock hygiene, worker isolation, and the
+frozen warehouse constructor surface; the lock-order sanitizer
 (:mod:`repro.testing.locks`) checks the runtime complement, a
 cycle-free lock acquisition order, across the chaos matrix.
 """
@@ -150,6 +172,7 @@ from repro.core.service import (
     Session,
     TenantBill,
 )
+from repro.core.sharding import PlannerWorkerPool
 from repro.core.warehouse import CostIntelligentWarehouse
 
 __all__ = [
@@ -189,4 +212,5 @@ __all__ = [
     "ServingScheduler",
     "Session",
     "TenantBill",
+    "PlannerWorkerPool",
 ]

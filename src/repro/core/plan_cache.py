@@ -63,7 +63,7 @@ from __future__ import annotations
 
 import threading
 from collections import OrderedDict
-from typing import TYPE_CHECKING, Hashable
+from typing import TYPE_CHECKING, Hashable, Iterable
 
 from repro.core.governance import LruPolicy, RetentionPolicy
 from repro.sql.parameterize import normalize_sql  # noqa: F401  (re-export)
@@ -173,6 +173,35 @@ class _LruStats:
             with stripe.lock:
                 stripe.entries.clear()
         self.policy.clear()
+
+    def export_state(self) -> tuple[tuple[Hashable, object], ...]:
+        """Snapshot the cached entries as ``(key, value)`` pairs.
+
+        Entries come out stripe by stripe, least-recently-used first
+        within each stripe, so replaying them through
+        :meth:`import_state` reproduces the per-stripe recency order.
+        The warm hand-off to planner worker processes pickles this
+        snapshot into the :class:`~repro.core.sharding.WorkerSpec`; the
+        values themselves must therefore be picklable (skeleton trees
+        and bound/choice pairs are — see ``tests/core/test_pickling.py``).
+        """
+        pairs: list[tuple[Hashable, object]] = []
+        for stripe in self._stripes:
+            with stripe.lock:
+                pairs.extend(stripe.entries.items())
+        return tuple(pairs)
+
+    def import_state(
+        self, pairs: Iterable[tuple[Hashable, object]]
+    ) -> None:
+        """Replay exported ``(key, value)`` pairs into this cache.
+
+        Insertion goes through the normal store path, so capacity and
+        the retention policy apply; importing more entries than fit
+        simply evicts as usual.
+        """
+        for key, value in pairs:
+            self._put(key, value)
 
     def reset_stats(self) -> None:
         """Zero the hit/miss/eviction counters (benchmark warmup)."""

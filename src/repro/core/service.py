@@ -721,6 +721,27 @@ class Session:
             )
             degraded = True
             warehouse.resilience_stats.note_degraded()
+        return self._finish_stage(
+            handle, guard, bound, choice, degraded, degraded_mode
+        )
+
+    def _finish_stage(
+        self,
+        handle: QueryHandle,
+        guard,
+        bound: "BoundQuery",
+        choice: "PlanChoice",
+        degraded: bool,
+        degraded_mode: str | None,
+    ) -> _Staged:
+        """The post-planning half of staging: execute -> simulate.
+
+        Shared by the in-process path (:meth:`_stage`) and the sharded
+        path (:meth:`_collect_sharded`), which differ only in where the
+        plan came from.
+        """
+        warehouse = self.warehouse
+        request = handle.request
         handle._advance(QueryState.PLANNED, "plan")
 
         batch: "Batch | None" = None
@@ -755,6 +776,145 @@ class Session:
             degraded=degraded,
             degraded_mode=degraded_mode,
         )
+
+    # -- sharded staging (see repro.core.sharding) ---------------------- #
+    def _sharded_eligible(self, handle: QueryHandle) -> bool:
+        """Whether a handle's planning can run on a worker process.
+
+        Remote staging replicates the *parameterized cached* planning
+        path only; anything else (cache bypass, local execution, the
+        PR 1 exact-match-only mode) stages in-process at its collect
+        position, preserving submission-order semantics.
+        """
+        request = handle.request
+        warehouse = self.warehouse
+        return (
+            request.use_plan_cache
+            and not request.execute_locally
+            and warehouse.plan_cache is not None
+            and warehouse.parameterized_serving
+        )
+
+    def _dispatch_sharded(self, handle: QueryHandle, pool) -> int | None:
+        """Send one handle's planning to the pool; ``None`` = stage it
+        in-process (ineligible request, or an exact-cache hit that
+        needs no planning at all)."""
+        if not self._sharded_eligible(handle):
+            return None
+        from repro.sql.parameterize import parameterize_sql
+
+        warehouse = self.warehouse
+        request = handle.request
+        assert request.constraint is not None  # resolved at submission
+        parameterized = parameterize_sql(request.sql)
+        version = warehouse.catalog.version
+        exact_key = (parameterized.normalized, request.constraint, version)
+        assert warehouse.plan_cache is not None
+        if warehouse.plan_cache.lookup(exact_key) is not None:
+            # A hit costs no planning: the in-process stage at this
+            # handle's collect position will hit the cache again.
+            return None
+        skeleton_hint = None
+        skeleton_key = None
+        if warehouse.skeleton_cache is not None:
+            kind = "sla" if request.constraint.is_sla else "budget"
+            skeleton_key = (parameterized.template_key, kind, version)
+            skeleton_hint = warehouse.skeleton_cache.lookup(skeleton_key)
+        handle._advance(handle.state, "queued")
+        return pool.dispatch(
+            sql=request.sql,
+            constraint=request.constraint,
+            template_key=parameterized.template_key,
+            stats_version=version,
+            skeleton_trees=skeleton_hint,
+            skeleton_key=skeleton_key,
+        )
+
+    def _collect_sharded(
+        self, handle: QueryHandle, pool, task_id: int
+    ) -> _Staged:
+        """Await one remote plan and finish staging in-process.
+
+        Mirrors :meth:`_stage`'s degraded-fallback contract: an
+        unresponsive worker surfaces as a
+        :class:`~repro.errors.DeadlineExceededError` on the ``optimize``
+        stage and falls back to degraded-mode planning instead of
+        failing the batch.  Worker crashes never reach here — the pool
+        restarts them warm and re-stages transparently.
+        """
+        warehouse = self.warehouse
+        request = handle.request
+        assert request.constraint is not None  # resolved at submission
+        guard = warehouse._stage_guard(request.tenant)
+        degraded = False
+        degraded_mode: str | None = None
+        try:
+            plan = pool.result_for(task_id)
+        except DeadlineExceededError as exc:
+            if (
+                guard is None
+                or exc.stage != "optimize"
+                or not warehouse.resilience.degraded_fallback
+            ):
+                raise
+            handle.retries += guard.retries
+            guard = None
+            bound, choice, degraded_mode = warehouse._plan_degraded(
+                request.sql, request.constraint
+            )
+            degraded = True
+            warehouse.resilience_stats.note_degraded()
+            handle._advance(QueryState.BOUND, "bind")
+        else:
+            bound, choice = plan.bound, plan.choice
+            self._absorb_staged(handle, plan)
+            handle._advance(QueryState.BOUND, "bind")
+        return self._finish_stage(
+            handle, guard, bound, choice, degraded, degraded_mode
+        )
+
+    def _absorb_staged(self, handle: QueryHandle, plan) -> None:
+        """Fold one remote plan into the coordinator's caches.
+
+        The exact plan cache gets the (bound, choice) pair under the
+        same key and governed annotations ``_plan`` would use; freshly
+        computed skeleton shapes land in the skeleton cache so later
+        batches (and the degraded fallback) reuse them.  The binding
+        cache is *not* written: it stores pre-MV-rewrite bindings while
+        a worker returns the post-rewrite bound query, and storing the
+        wrong flavor would double-rewrite on the next in-process plan.
+
+        Handle stage timings get the worker's measured planning costs
+        (``worker_bind`` / ``worker_optimize``) alongside the wall
+        timings ``_advance`` records coordinator-side.
+        """
+        from repro.sql.parameterize import parameterize_sql
+
+        warehouse = self.warehouse
+        request = handle.request
+        assert request.constraint is not None
+        parameterized = parameterize_sql(request.sql)
+        version = warehouse.catalog.version
+        governed = warehouse._governed
+        template = parameterized.template_key if governed else None
+        if plan.new_skeleton_trees is not None and warehouse.skeleton_cache is not None:
+            kind = "sla" if request.constraint.is_sla else "budget"
+            warehouse.skeleton_cache.store(
+                (parameterized.template_key, kind, version),
+                plan.new_skeleton_trees,
+                template=template,
+                cost_s=plan.optimize_s if governed else 0.0,
+            )
+        assert warehouse.plan_cache is not None
+        warehouse.plan_cache.store(
+            (parameterized.normalized, request.constraint, version),
+            plan.bound,
+            plan.choice,
+            template=template,
+            cost_s=plan.optimize_s if governed else 0.0,
+        )
+        handle.stage_timings["worker_bind"] = plan.bind_s
+        handle.stage_timings["worker_optimize"] = plan.optimize_s
 
     def _finalize(self, handle: QueryHandle, staged: _Staged) -> None:
         """The ordered phase: log, bill the tenant, track templates.
@@ -935,6 +1095,11 @@ class ServingScheduler:
         served, logged, and billed exactly as sequential submission
         would have (the legacy abort-the-batch contract).
         """
+        worker_pool = self.session.warehouse._worker_pool
+        if worker_pool is not None and worker_pool.alive:
+            self._serve_sharded(batch, worker_pool)
+            return
+
         pooled = [
             h
             for h in batch
@@ -978,3 +1143,47 @@ class ServingScheduler:
                         for pending in futures.values():
                             pending.cancel()
                         raise handle.error from exc
+
+    def _serve_sharded(self, batch: list[QueryHandle], pool) -> None:
+        """Stage over the warm worker-process pool, finalize in order.
+
+        Two phases: dispatch every eligible handle's planning in
+        submission order (pipelining — every worker starts planning
+        immediately), then collect + finalize in submission order.
+        Per-worker pipe FIFO plus ordered collection means each recv
+        yields exactly the task being waited on.  Throttled and
+        ineligible handles (and exact-cache hits) stage in-process *at
+        their collect position*, exactly where the threaded path would
+        run them serially.  Outcomes, logs, and bills are bit-identical
+        to the threaded and sequential paths — enforced by the sharded
+        parity matrix.
+        """
+        session = self.session
+        pool.sync()
+        task_ids: dict[QueryHandle, int] = {}
+        for handle in batch:
+            if handle.denied or handle.admission is AdmissionVerdict.THROTTLE:
+                continue
+            task_id = session._dispatch_sharded(handle, pool)
+            if task_id is not None:
+                task_ids[handle] = task_id
+        for handle in batch:
+            if handle.denied:
+                if self.fail_fast:
+                    pool.abandon(list(task_ids.values()))
+                    assert handle.error is not None
+                    raise handle.error
+                continue
+            try:
+                task_id = task_ids.pop(handle, None)
+                staged = (
+                    session._collect_sharded(handle, pool, task_id)
+                    if task_id is not None
+                    else session._stage(handle)
+                )
+                session._finalize(handle, staged)
+            except Exception as exc:  # noqa: BLE001 - carried on handle
+                handle._fail(_wrap_failure(handle, exc))
+                if self.fail_fast:
+                    pool.abandon(list(task_ids.values()))
+                    raise handle.error from exc

@@ -1,0 +1,206 @@
+"""Planner worker process entrypoint (the isolated side of sharding).
+
+This module is everything a planner worker process runs: a
+:class:`PlannerShard` replicating the coordinator's parameterized
+bind -> optimize path over *private* warm caches, and the
+:func:`worker_main` message loop.  It is deliberately minimal and
+machine-isolated: the ``worker-isolation`` lint rule forbids this
+module from importing or calling anything that could append to the
+write-ahead journal, mutate a :class:`~repro.core.service.TenantBill`,
+or write the statistics log — those are authoritative, ordered,
+exactly-once effects that belong to the coordinator's finalize phase
+alone.  A worker computes pure planning functions of (catalog,
+hardware, query, constraint) and nothing else, which is exactly why a
+crashed worker can be restarted and its tasks re-staged without any
+risk of double-billing or double-logging.
+
+Staging here mirrors ``CostIntelligentWarehouse._plan``'s parameterized
+path, unguarded (fault points and retries are coordinator-side
+machinery): template-keyed binding reuse, MV rewrite after the binding
+cache, skeleton-shape reuse keyed on (template key, constraint kind,
+stats version), and ``variant_trees`` export on a skeleton miss so the
+coordinator can absorb freshly computed shapes.  Caches are plain
+dicts — the process is single-threaded, so the coordinator's
+lock-striped LRUs would buy nothing — seeded warm from the
+:class:`~repro.core.sharding.WorkerSpec` at (re)start.
+"""
+
+from __future__ import annotations
+
+import pickle
+import time
+from typing import TYPE_CHECKING, Any
+
+from repro.core.bioptimizer import BiObjectiveOptimizer
+from repro.core.sharding import RefreshState, StagedPlan, StageTask, WorkerFailure, WorkerSpec
+from repro.cost.estimator import CostEstimator
+from repro.errors import ReproError
+from repro.sql.binder import Binder
+from repro.sql.parameterize import parameterize_sql
+from repro.tuning.mv import try_rewrite
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.sql.binder import BoundQuery
+
+
+def _picklable(error: Exception) -> Exception:
+    """The error itself when it survives pickle, else a plain stand-in
+    (the reply must cross the pipe whatever the binder/optimizer threw)."""
+    try:
+        pickle.loads(pickle.dumps(error))
+        return error
+    except Exception:  # noqa: BLE001 - any pickle failure takes the fallback
+        return ReproError(f"{type(error).__name__}: {error}")
+
+
+class PlannerShard:
+    """One worker's warm planning state: catalog, binder, optimizer,
+    and private binding/skeleton caches."""
+
+    def __init__(self, spec: WorkerSpec) -> None:
+        self.worker_index = spec.worker_index
+        self.seed = spec.seed
+        self.max_dop = spec.max_dop
+        self.explore_bushy = spec.explore_bushy
+        self.hardware = spec.hardware
+        self._install(spec.catalog, spec.applied_mvs, spec.fingerprint)
+        for key, trees in spec.skeleton_seed:
+            self._skeletons.setdefault(key, trees)
+
+    def _install(
+        self, catalog: Any, applied_mvs: tuple, fingerprint: tuple
+    ) -> None:
+        self.catalog = catalog
+        self.applied_mvs = tuple(applied_mvs)
+        self.fingerprint = fingerprint
+        self.estimator = CostEstimator(self.hardware)
+        self.optimizer = BiObjectiveOptimizer(
+            catalog,
+            self.estimator,
+            max_dop=self.max_dop,
+            explore_bushy=self.explore_bushy,
+        )
+        self.binder = Binder(catalog)
+        self._bindings: dict = {}
+        self._skeletons: dict = {}
+
+    def refresh(self, state: RefreshState) -> None:
+        """Apply a coherency broadcast: rebuild planning state over the
+        new catalog and drop every warm entry (their keys embed the old
+        stats version; a flush-epoch bump has no version change, so the
+        caches must be dropped explicitly)."""
+        self._install(state.catalog, state.applied_mvs, state.fingerprint)
+
+    def _maybe_rewrite_mv(self, bound: "BoundQuery") -> "BoundQuery":
+        # Mirrors CostIntelligentWarehouse._maybe_rewrite_mv over the
+        # spec's applied-MV snapshot, so worker plans rewrite onto
+        # applied views exactly as coordinator plans do.
+        for candidate in self.applied_mvs:
+            if not self.catalog.has_table(candidate.name) or not self.catalog.has_view(
+                candidate.name
+            ):
+                continue
+            rewritten = try_rewrite(bound, candidate)
+            if rewritten is not None:
+                return rewritten
+        return bound
+
+    def stage(self, task: StageTask) -> StagedPlan:
+        """Bind + optimize one task (the remote half of ``_plan``)."""
+        self.current_stage = "protocol"
+        if task.stats_version != self.catalog.version:
+            raise ReproError(
+                f"stale dispatch: task planned against stats version "
+                f"{task.stats_version}, worker {self.worker_index} is at "
+                f"{self.catalog.version} (missed RefreshState broadcast?)"
+            )
+        self.current_stage = "bind"
+        parameterized = parameterize_sql(task.sql)
+        version = self.catalog.version
+        binding_key = (parameterized.normalized, version)
+        bound = self._bindings.get(binding_key)
+        warm_bind = bound is not None
+        bind_start = time.perf_counter()
+        if bound is None:
+            bound = self.binder.bind_parameterized(
+                parameterized.template_key, parameterized.constants, sql=task.sql
+            )
+            self._bindings[binding_key] = bound
+        bind_s = time.perf_counter() - bind_start
+        bound = self._maybe_rewrite_mv(bound)
+        kind = "sla" if task.constraint.is_sla else "budget"
+        skeleton_key = (parameterized.template_key, kind, version)
+        trees = self._skeletons.get(skeleton_key)
+        if trees is None and task.skeleton_trees is not None:
+            # The coordinator's hint warms a cold (or restarted) worker.
+            trees = tuple(task.skeleton_trees)
+            self._skeletons[skeleton_key] = trees
+        warm_skeleton = trees is not None
+        self.current_stage = "optimize"
+        optimize_start = time.perf_counter()
+        choice = self.optimizer.optimize(bound, task.constraint, skeleton_trees=trees)
+        optimize_s = time.perf_counter() - optimize_start
+        new_trees = None
+        if trees is None:
+            new_trees = self.optimizer.variant_trees(bound)
+            self._skeletons[skeleton_key] = new_trees
+        return StagedPlan(
+            task_id=task.task_id,
+            bound=bound,
+            choice=choice,
+            new_skeleton_trees=new_trees,
+            bind_s=bind_s,
+            optimize_s=optimize_s,
+            warm_bind=warm_bind,
+            warm_skeleton=warm_skeleton,
+        )
+
+    def serve(self, task: StageTask) -> tuple:
+        """One task to one picklable reply, failures included."""
+        try:
+            return ("done", self.stage(task))
+        except Exception as exc:  # noqa: BLE001 - shipped to the coordinator
+            return (
+                "fail",
+                WorkerFailure(
+                    task_id=task.task_id,
+                    error=_picklable(exc),
+                    stage=getattr(self, "current_stage", "protocol"),
+                ),
+            )
+
+
+def worker_main(conn: Any, spec: WorkerSpec) -> None:
+    """The worker process loop: recv task/refresh messages, send replies.
+
+    Exits cleanly on a ``("stop",)`` message or pipe EOF (the
+    coordinator went away).  The ``("drop",)`` control message makes the
+    worker silently swallow every task from then on — the chaos suite's
+    hook for an unresponsive-but-alive worker: the coordinator's
+    liveness timeout must fire and recovery restarts the process (which
+    clears the flag, the replacement is a fresh worker).
+    """
+    shard = PlannerShard(spec)
+    conn.send(("ready", spec.worker_index))
+    drop_tasks = False
+    while True:
+        try:
+            message = conn.recv()
+        except (EOFError, OSError):
+            return
+        kind = message[0]
+        if kind == "stop":
+            return
+        if kind == "refresh":
+            shard.refresh(message[1])
+            continue
+        if kind == "ping":
+            conn.send(("pong", message[1]))
+            continue
+        if kind == "drop":
+            drop_tasks = True
+            continue
+        if kind == "task":
+            if drop_tasks:
+                continue
+            conn.send(shard.serve(message[1]))

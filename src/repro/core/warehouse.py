@@ -287,6 +287,17 @@ class CostIntelligentWarehouse:
         self.metrics = MetricsRegistry()
         self.cost_history = CostHistoryStore()
         self.collector = SnapshotCollector(self)
+        #: Process-sharded serving (see :mod:`repro.core.sharding`):
+        #: a warm :class:`~repro.core.sharding.PlannerWorkerPool` when
+        #: :meth:`enable_sharding` has been called, else ``None`` (the
+        #: in-process fast path, byte for byte).  Configured
+        #: post-construction like :meth:`enable_collection`, so the
+        #: frozen constructor surface is untouched.
+        self._worker_pool = None
+        #: Bumped by every explicit :meth:`invalidate_plan_cache` —
+        #: part of the coherency fingerprint the worker pool broadcasts
+        #: on (version-less flushes must still reach the workers).
+        self._plan_cache_epoch = 0
         self._register_metric_sources()
 
     # ------------------------------------------------------------------ #
@@ -389,6 +400,30 @@ class CostIntelligentWarehouse:
         )
         metrics.source("repro_virtual_clock_seconds", lambda: self.clock)
         metrics.source("repro_queries_logged_total", lambda: len(self.logs))
+        metrics.source(
+            "repro_worker_pool_size",
+            lambda: self._worker_pool.size if self._worker_pool is not None else 0,
+        )
+        metrics.source(
+            "repro_worker_restarts_total",
+            lambda: (
+                self._worker_pool.restarts if self._worker_pool is not None else 0
+            ),
+        )
+        metrics.source(
+            "repro_worker_restaged_tasks_total",
+            lambda: (
+                self._worker_pool.restaged_tasks
+                if self._worker_pool is not None
+                else 0
+            ),
+        )
+        metrics.source(
+            "repro_worker_warm_task_hits_total",
+            lambda: (
+                self._worker_pool.warm_hits if self._worker_pool is not None else {}
+            ),
+        )
 
     def _cache_source(self, read) -> dict:
         values = {}
@@ -493,6 +528,50 @@ class CostIntelligentWarehouse:
                 cadence_seconds=cadence_seconds,
             )
         )
+
+    def enable_sharding(
+        self,
+        *,
+        workers: "int | None" = None,
+        base_seed: int = 0,
+        liveness_timeout_s: "float | None" = None,
+    ) -> None:
+        """Serve batches over a warm planner worker-*process* pool.
+
+        Spawns ``workers`` long-lived planner processes (default:
+        core-count capped at 4) that execute the CPU-heavy bind ->
+        optimize staging out-of-process with template affinity, escaping
+        the GIL (see :mod:`repro.core.sharding`).  All journal appends,
+        billing, admission, simulation, and statistics-log writes stay
+        in this process; sharded batches are bit-identical to threaded
+        and sequential submission.  Configured post-construction (like
+        :meth:`enable_collection`) so the frozen constructor surface is
+        untouched; :meth:`disable_sharding` restores the in-process
+        path.
+        """
+        from repro.core.sharding import PlannerWorkerPool
+
+        self.disable_sharding()
+        pool = PlannerWorkerPool(
+            self,
+            workers=workers,
+            base_seed=base_seed,
+            liveness_timeout_s=liveness_timeout_s,
+        )
+        pool.start()
+        self._worker_pool = pool
+
+    def disable_sharding(self) -> None:
+        """Shut down the planner worker pool (no-op when not sharded)."""
+        pool = self._worker_pool
+        if pool is not None:
+            pool.close()
+            self._worker_pool = None
+
+    @property
+    def worker_pool(self):
+        """The active planner worker pool, or ``None``."""
+        return self._worker_pool
 
     def _maybe_collect(self) -> None:
         """Serving-layer hook mirroring :meth:`_maybe_autotune`: take a
@@ -824,9 +903,10 @@ class CostIntelligentWarehouse:
     def inject_faults(self, plan) -> None:
         """Install (or clear, with ``None``) a deterministic fault plan.
 
-        ``plan`` is a :class:`~repro.testing.faults.FaultPlan`; the five
+        ``plan`` is a :class:`~repro.testing.faults.FaultPlan`; the
         named fault points (``bind``, ``optimize``, ``simulate``,
-        ``statsvc``, ``tuning_apply``) consult it live, so a plan can be
+        ``statsvc``, ``tuning_apply``, and — under sharded serving —
+        ``worker_crash``) consult it live, so a plan can be
         swapped mid-workload to model an outage starting or ending.  The
         three *crash* points (``crash_pre_write``, ``crash_post_write``,
         ``crash_pre_commit`` — see
@@ -1203,6 +1283,7 @@ class CostIntelligentWarehouse:
         bindings (catalog mutations invalidate automatically via the
         stats version; use this after out-of-band changes such as
         hardware recalibration)."""
+        self._plan_cache_epoch += 1
         if self.plan_cache is not None:
             self.plan_cache.invalidate()
         if self.skeleton_cache is not None:

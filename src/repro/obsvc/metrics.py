@@ -192,6 +192,29 @@ REGISTERED_METRICS: dict[str, MetricSpec] = {
     "repro_queries_logged_total": MetricSpec(
         "source", "Records in the statistics-service query log."
     ),
+    # -- process-sharded serving (sourced from PlannerWorkerPool, 0 /
+    #    empty until enable_sharding; IPC histogram owned) --------------
+    "repro_worker_pool_size": MetricSpec(
+        "source", "Planner worker processes in the active pool."
+    ),
+    "repro_worker_restarts_total": MetricSpec(
+        "source", "Planner workers restarted warm after a crash or hang."
+    ),
+    "repro_worker_restaged_tasks_total": MetricSpec(
+        "source", "In-flight tasks re-sent to a restarted planner worker."
+    ),
+    "repro_worker_warm_task_hits_total": MetricSpec(
+        "source",
+        "Tasks served from a worker's warm private cache, by level "
+        "(bind / skeleton).",
+        ("level",),
+    ),
+    "repro_worker_ipc_roundtrip_seconds": MetricSpec(
+        "histogram",
+        "Wall time from task send to result receipt (queue wait included).",
+        buckets=(0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25,
+                 0.5, 1.0, 2.5, 5.0),
+    ),
 }
 
 

@@ -20,6 +20,13 @@ Fault points (:data:`FAULT_POINTS`):
   cost-aware retention (guarded by the statsvc circuit breaker).
 - ``tuning_apply`` — background-compute action execution (guarded by
   the tuning circuit breaker).
+- ``worker_crash`` — a planner worker *process* dies at a dispatch
+  boundary.  Drawn by the coordinator's
+  :class:`~repro.core.sharding.PlannerWorkerPool` once per task send,
+  in submission order, so the schedule is deterministic regardless of
+  worker timing; the pool restarts the worker warm and re-stages its
+  in-flight tasks (exactly-once billing is the coordinator's job, so a
+  re-stage never double-bills).
 
 Crash points (:data:`CRASH_POINTS`) model *process death* at the
 write-ahead-journal record boundaries (see :mod:`repro.core.journal`):
@@ -51,7 +58,14 @@ from repro.errors import ReproError, TransientError
 from repro.util.rng import derive_rng
 
 #: Every named fault point the serving/tuning/statsvc paths expose.
-FAULT_POINTS = ("bind", "optimize", "simulate", "statsvc", "tuning_apply")
+FAULT_POINTS = (
+    "bind",
+    "optimize",
+    "simulate",
+    "statsvc",
+    "tuning_apply",
+    "worker_crash",
+)
 
 #: Kill points at write-ahead-journal record boundaries (only drawn
 #: when a journal is attached to the warehouse).  Kept separate from

@@ -152,6 +152,24 @@ CORPUS: dict[str, Fixture] = {
             "    tables: tuple[str, ...]\n"
         ),
     ),
+    "worker-isolation": Fixture(
+        path="src/repro/core/sharding_worker.py",
+        bad=(
+            "from repro.core.journal import QueryServed\n"
+            "def finalize(self, record, bill):\n"
+            "    self.journal.append(record)\n"
+            "    self.warehouse._journal_append(record)\n"
+            "    bill.charged = TenantBill()\n"
+        ),
+        good=(
+            "from repro.core.bioptimizer import BiObjectiveOptimizer\n"
+            "from repro.sql.binder import Binder\n"
+            "def stage(self, task):\n"
+            "    bound = self.binder.bind_parameterized(\n"
+            "        task.template_key, task.constants, sql=task.sql)\n"
+            "    return self.optimizer.optimize(bound, task.constraint)\n"
+        ),
+    ),
     "warehouse-kwargs": Fixture(
         path="src/repro/core/warehouse.py",
         bad=(
@@ -339,3 +357,32 @@ def test_warehouse_kwargs_reports_stale_allowlist_entry():
     )
     assert len(fired) == 1
     assert "'journal'" in fired[0].message
+
+
+def test_worker_isolation_scopes_to_worker_modules_only():
+    # The same authority-touching code is legal coordinator-side.
+    bad = CORPUS["worker-isolation"].bad
+    fired, _ = findings_for("worker-isolation", bad, "src/repro/core/service.py")
+    assert fired == []
+    # Forbidden import prefixes fire individually.
+    for stmt in (
+        "import repro.core.warehouse\n",
+        "from repro.statsvc.logs import QueryLogStore\n",
+        "from repro.obsvc.metrics import MetricsRegistry\n",
+    ):
+        fired, _ = findings_for(
+            "worker-isolation", stmt, "src/repro/core/sharding_worker.py"
+        )
+        assert fired, f"did not fire on {stmt!r}"
+
+
+def test_worker_isolation_passes_on_the_real_worker_module():
+    from pathlib import Path
+
+    path = Path(__file__).resolve().parents[2] / (
+        "src/repro/core/sharding_worker.py"
+    )
+    fired, _ = findings_for(
+        "worker-isolation", path.read_text(), "src/repro/core/sharding_worker.py"
+    )
+    assert fired == []

@@ -162,7 +162,14 @@ def test_describe_mentions_points_and_fired_counts():
 
 
 def test_fault_points_snapshot():
-    assert FAULT_POINTS == ("bind", "optimize", "simulate", "statsvc", "tuning_apply")
+    assert FAULT_POINTS == (
+        "bind",
+        "optimize",
+        "simulate",
+        "statsvc",
+        "tuning_apply",
+        "worker_crash",
+    )
 
 
 # --------------------------------------------------------------------- #
